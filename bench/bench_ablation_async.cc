@@ -1,0 +1,89 @@
+// Extension (paper §5.1.2): PowerGraph ships synchronous and asynchronous
+// engines; the thesis only exercises async for Coloring (where it observes
+// hangs). This ablation runs the same applications on both engines and
+// quantifies the tradeoff: async wastes no time at barriers (higher CPU
+// utilization, fewer rounds when placement is locality-friendly) but pays
+// stale remote reads; results are identical for monotone applications.
+
+#include "apps/pagerank.h"
+#include "apps/sssp.h"
+#include "apps/wcc.h"
+#include "bench_common.h"
+#include "engine/async_engine.h"
+#include "engine/gas_engine.h"
+#include "partition/ingest.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace gdp;
+  using partition::StrategyKind;
+
+  bench::PrintHeader("Extension — synchronous vs asynchronous engine",
+                     "PowerGraph disciplines, 9 machines, Chunked + Grid");
+  bench::Datasets data = bench::MakeDatasets(0.5);
+
+  auto partition_with = [&](const graph::EdgeList& edges,
+                            StrategyKind strategy, sim::Cluster& cluster) {
+    partition::PartitionContext context;
+    context.num_partitions = 9;
+    context.num_vertices = edges.num_vertices();
+    context.num_loaders = 9;
+    partition::IngestOptions ing;
+    ing.master_policy = partition::MasterPolicy::kVertexHash;
+    ing.use_partitioner_master_preference = true;
+    return partition::IngestWithStrategy(edges, strategy, context, cluster,
+                                         ing);
+  };
+
+  util::Table table({"graph", "strategy", "app", "sync rounds",
+                     "async rounds", "sync s", "async s", "results equal"});
+  bool monotone_equal = true;
+  uint32_t sync_rounds_road = 0, async_rounds_road = 0;
+  double sync_util = 0, async_util = 0;
+  for (auto [edges, strategy] :
+       {std::pair<const graph::EdgeList*, StrategyKind>{
+            &data.road_ca, StrategyKind::kChunked},
+        {&data.twitter, StrategyKind::kGrid}}) {
+    // SSSP (monotone: must agree exactly).
+    apps::SsspApp sssp;
+    sssp.source = 0;
+    engine::RunOptions options;
+    options.max_iterations = 5000;
+    sim::Cluster c1(9, sim::CostModel{});
+    sim::Cluster c2(9, sim::CostModel{});
+    auto i1 = partition_with(*edges, strategy, c1);
+    auto i2 = partition_with(*edges, strategy, c2);
+    auto sync_run = engine::RunGasEngine(
+        engine::EngineKind::kPowerGraphSync, i1.graph, c1, sssp, options);
+    auto async_run = engine::RunAsyncGasEngine(i2.graph, c2, sssp, options);
+    bool equal = sync_run.states == async_run.states;
+    monotone_equal &= equal;
+    table.AddRow({edges->name(), partition::StrategyName(strategy), "SSSP",
+                  std::to_string(sync_run.stats.iterations),
+                  std::to_string(async_run.stats.iterations),
+                  util::Table::Num(sync_run.stats.compute_seconds, 4),
+                  util::Table::Num(async_run.stats.compute_seconds, 4),
+                  equal ? "yes" : "NO"});
+    if (edges == &data.road_ca) {
+      sync_rounds_road = sync_run.stats.iterations;
+      async_rounds_road = async_run.stats.iterations;
+      sync_util = util::Mean(c1.CpuUtilizations());
+      async_util = util::Mean(c2.CpuUtilizations());
+    }
+  }
+  bench::PrintTable(table);
+  std::printf("road-net mean CPU utilization: sync %.1f%% vs async %.1f%%\n",
+              sync_util * 100, async_util * 100);
+
+  bench::Claim(
+      "monotone applications reach identical fixpoints on both engines",
+      monotone_equal);
+  bench::Claim(
+      "with a locality-friendly placement, async SSSP needs well under "
+      "half the rounds of the sync engine's supersteps (chaotic "
+      "relaxation within each chunk)",
+      async_rounds_road * 2 < sync_rounds_road);
+  bench::Claim("async runs at higher CPU utilization (no barrier waits)",
+               async_util > sync_util);
+  return 0;
+}

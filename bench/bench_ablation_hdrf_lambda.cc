@@ -1,0 +1,53 @@
+// Ablation (DESIGN.md): HDRF's lambda parameter. The HDRF paper (and
+// Appendix B) says lambda <= 1 acts as a tie-breaker and larger values
+// trade replication quality for load balance; PowerGraph hardcodes
+// lambda = 1. We sweep lambda and report replication factor and edge
+// balance on a heavy-tailed and a power-law graph.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace gdp;
+  using partition::StrategyKind;
+
+  bench::PrintHeader("Ablation — HDRF lambda sweep",
+                     "9 machines; RF and edge-balance vs lambda");
+  bench::Datasets data = bench::MakeDatasets(0.6);
+
+  const std::vector<double> lambdas = {0.0, 0.5, 1.0, 2.0, 4.0, 10.0};
+  bool balance_improves = true;
+  bool rf_degrades = true;
+  for (const graph::EdgeList* edges : {&data.twitter, &data.ukweb}) {
+    util::Table table({"lambda", "RF", "edge balance (max/mean)"});
+    double first_rf = 0, last_rf = 0, first_bal = 0, last_bal = 0;
+    for (double lambda : lambdas) {
+      sim::Cluster cluster(9, sim::CostModel{});
+      partition::PartitionContext context;
+      context.num_partitions = 9;
+      context.num_vertices = edges->num_vertices();
+      context.num_loaders = 9;
+      context.hdrf_lambda = lambda;
+      partition::IngestResult r = partition::IngestWithStrategy(
+          *edges, StrategyKind::kHdrf, context, cluster);
+      table.AddRow({util::Table::Num(lambda, 1),
+                    util::Table::Num(r.report.replication_factor),
+                    util::Table::Num(r.report.edge_balance_ratio, 3)});
+      if (lambda == lambdas.front()) {
+        first_rf = r.report.replication_factor;
+        first_bal = r.report.edge_balance_ratio;
+      }
+      if (lambda == lambdas.back()) {
+        last_rf = r.report.replication_factor;
+        last_bal = r.report.edge_balance_ratio;
+      }
+    }
+    std::printf("\n%s\n", edges->name().c_str());
+    bench::PrintTable(table);
+    balance_improves &= last_bal <= first_bal;
+    rf_degrades &= last_rf >= first_rf;
+  }
+
+  bench::Claim("larger lambda improves load balance", balance_improves);
+  bench::Claim("larger lambda costs replication factor", rf_degrades);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces the §3.2 background comparison the paper's systems rest on:
+// "Edge-cuts are better for graphs with many low-degree vertices ...
+// However, for power-law-like graphs with several very high degree nodes,
+// vertex-cuts allow better load balance by distributing load for those
+// vertices over multiple machines." We hash-place vertices (edge-cut) and
+// edges (canonical-random vertex-cut) on the same graphs and compare load
+// imbalance and per-superstep communication.
+
+#include "bench_common.h"
+#include "engine/edge_cut.h"
+
+int main() {
+  using namespace gdp;
+
+  bench::PrintHeader("§3.2 — edge-cuts vs vertex-cuts",
+                     "hash placements, 16 machines, per graph class");
+  bench::Datasets data = bench::MakeDatasets(0.6);
+
+  util::Table table({"graph", "EC-hash imbalance", "EC-range imbalance",
+                     "VC imbalance", "EC-hash msgs", "EC-range msgs",
+                     "VC msgs"});
+  double road_ec_imb = 0, road_vc_imb = 0;
+  double tw_ec_imb = 0, tw_vc_imb = 0;
+  uint64_t road_range_msgs = 0, road_vc_msgs = 0;
+  for (const graph::EdgeList* edges :
+       {&data.road_usa, &data.twitter, &data.ukweb}) {
+    engine::EdgeCutAnalysis ec = engine::AnalyzeEdgeCut(*edges, 16, 7);
+    engine::EdgeCutAnalysis ec_range =
+        engine::AnalyzeEdgeCut(*edges, 16, 7, /*range_placement=*/true);
+    engine::VertexCutAnalysis vc =
+        engine::AnalyzeRandomVertexCut(*edges, 16, 7);
+    table.AddRow({edges->name(), util::Table::Num(ec.load_imbalance, 3),
+                  util::Table::Num(ec_range.load_imbalance, 3),
+                  util::Table::Num(vc.load_imbalance, 3),
+                  std::to_string(ec.messages_per_superstep),
+                  std::to_string(ec_range.messages_per_superstep),
+                  std::to_string(vc.messages_per_superstep)});
+    if (edges == &data.road_usa) {
+      road_ec_imb = ec.load_imbalance;
+      road_vc_imb = vc.load_imbalance;
+      road_range_msgs = ec_range.messages_per_superstep;
+      road_vc_msgs = vc.messages_per_superstep;
+    }
+    if (edges == &data.twitter) {
+      tw_ec_imb = ec.load_imbalance;
+      tw_vc_imb = vc.load_imbalance;
+    }
+  }
+  bench::PrintTable(table);
+
+  bench::Claim(
+      "on the low-degree road network, a locality-aware edge-cut "
+      "communicates far less than the random vertex-cut (all adjacent "
+      "edges stay with the vertex)",
+      road_range_msgs * 5 < road_vc_msgs);
+  bench::Claim(
+      "on the power-law graph, the vertex-cut balances load far better "
+      "(hub degrees cannot be split under an edge-cut)",
+      tw_vc_imb < tw_ec_imb && tw_ec_imb > 1.05);
+  bench::Claim(
+      "on the road network both placements are balanced (no hubs to split)",
+      road_ec_imb < 1.1 && road_vc_imb < 1.1);
+  return 0;
+}

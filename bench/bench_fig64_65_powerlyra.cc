@@ -1,0 +1,82 @@
+// Reproduces Figs 6.4 and 6.5: ingress times and replication factors for
+// PowerLyra's native strategies on all graphs and cluster sizes. Paper
+// findings (§6.4.3-4): Oblivious delivers the best RF on road networks and
+// UK-web; Grid and Hybrid are both low on LiveJournal/Twitter; H-Ginger has
+// significantly slower ingress than Hybrid for only slightly better RF.
+
+#include <map>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace gdp;
+  using partition::StrategyKind;
+
+  bench::PrintHeader("Figs 6.4/6.5 — PowerLyra ingress times & RF",
+                     "PL strategies x 5 graphs x clusters {9,16,25}");
+  bench::Datasets data = bench::MakeDatasets();
+
+  const std::vector<StrategyKind> strategies = {
+      StrategyKind::kRandom, StrategyKind::kGrid, StrategyKind::kOblivious,
+      StrategyKind::kHybrid, StrategyKind::kHybridGinger};
+  std::map<std::string, std::map<StrategyKind, double>> rf25, time25;
+
+  for (uint32_t machines : {9u, 16u, 25u}) {
+    util::Table rf_table({"graph", "Random", "Grid", "Oblivious", "Hybrid",
+                          "H-Ginger"});
+    util::Table time_table({"graph", "Random", "Grid", "Oblivious", "Hybrid",
+                            "H-Ginger"});
+    for (const graph::EdgeList* edges : data.PowerGraphSet()) {
+      std::vector<std::string> rf_row{edges->name()};
+      std::vector<std::string> time_row{edges->name()};
+      for (StrategyKind strategy : strategies) {
+        harness::ExperimentSpec spec;
+        spec.engine = engine::EngineKind::kPowerLyraHybrid;
+        spec.strategy = strategy;
+        spec.num_machines = machines;
+        harness::ExperimentResult r = harness::RunIngressOnly(*edges, spec);
+        rf_row.push_back(util::Table::Num(r.replication_factor));
+        time_row.push_back(util::Table::Num(r.ingress.ingress_seconds, 4));
+        if (machines == 25) {
+          rf25[edges->name()][strategy] = r.replication_factor;
+          time25[edges->name()][strategy] = r.ingress.ingress_seconds;
+        }
+      }
+      rf_table.AddRow(rf_row);
+      time_table.AddRow(time_row);
+    }
+    std::printf("\ncluster: %u machines — Fig 6.5 replication factors\n",
+                machines);
+    bench::PrintTable(rf_table);
+    std::printf("cluster: %u machines — Fig 6.4 ingress times (s)\n",
+                machines);
+    bench::PrintTable(time_table);
+  }
+
+  bench::Claim(
+      "Oblivious has the best RF on road networks and UK-web",
+      rf25["road-net-CA"][StrategyKind::kOblivious] <=
+              rf25["road-net-CA"][StrategyKind::kGrid] &&
+          rf25["UK-web"][StrategyKind::kOblivious] <
+              rf25["UK-web"][StrategyKind::kGrid] &&
+          rf25["UK-web"][StrategyKind::kOblivious] <
+              rf25["UK-web"][StrategyKind::kRandom]);
+  bench::Claim(
+      "Grid and Hybrid both have low RF on the social graphs",
+      rf25["Twitter"][StrategyKind::kGrid] <
+              rf25["Twitter"][StrategyKind::kRandom] &&
+          rf25["Twitter"][StrategyKind::kHybrid] <
+              rf25["Twitter"][StrategyKind::kRandom]);
+  bench::Claim(
+      "Hybrid-Ginger ingress is much slower than Hybrid's (>1.3x on the "
+      "skewed graphs)",
+      time25["Twitter"][StrategyKind::kHybridGinger] >
+              1.3 * time25["Twitter"][StrategyKind::kHybrid] &&
+          time25["UK-web"][StrategyKind::kHybridGinger] >
+              1.3 * time25["UK-web"][StrategyKind::kHybrid]);
+  bench::Claim(
+      "...for only slightly better replication (<5% improvement)",
+      rf25["Twitter"][StrategyKind::kHybridGinger] >
+          0.95 * rf25["Twitter"][StrategyKind::kHybrid]);
+  return 0;
+}

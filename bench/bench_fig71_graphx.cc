@@ -1,0 +1,169 @@
+// Reproduces Fig 7.1 and Table 7.1: GraphX computation times for the four
+// native strategies across the GraphX dataset set (road-CA, road-USA,
+// LiveJournal, Enwiki) and the resulting per-app rankings. Paper findings
+// (§7.4): all strategies partition at similar speed, so compute time
+// decides; Canonical Random is (near-)fastest on road networks, 2D
+// (near-)fastest on the skewed graphs.
+
+#include <algorithm>
+#include <map>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace gdp;
+  using harness::AppKind;
+  using partition::StrategyKind;
+
+  bench::PrintHeader("Fig 7.1 / Table 7.1 — GraphX computation times",
+                     "GraphX engine, 10 machines x 8 partitions, 10 iters");
+  bench::Datasets data = bench::MakeDatasets();
+
+  const std::vector<StrategyKind> strategies = {
+      StrategyKind::kOneD, StrategyKind::kTwoD, StrategyKind::kRandom,
+      StrategyKind::kAsymmetricRandom};
+  const std::vector<AppKind> apps = {AppKind::kPageRankFixed, AppKind::kSssp,
+                                     AppKind::kWcc};
+  // Display names as the paper uses them for GraphX.
+  auto gx_name = [](StrategyKind s) -> std::string {
+    if (s == StrategyKind::kRandom) return "CanonicalRandom";
+    if (s == StrategyKind::kAsymmetricRandom) return "Random";
+    return partition::StrategyName(s);
+  };
+
+  std::map<std::string, std::map<AppKind, std::vector<
+      std::pair<double, StrategyKind>>>> rankings;
+  std::map<std::string, double> ingress_spread;
+
+  for (const graph::EdgeList* edges : data.GraphXSet()) {
+    util::Table table({"app", "1D", "2D", "CanonicalRandom", "Random",
+                       "partitioning(s) spread"});
+    double min_ingress = 1e30, max_ingress = 0;
+    for (AppKind app : apps) {
+      std::vector<std::string> row{harness::AppKindName(app)};
+      for (StrategyKind strategy : strategies) {
+        harness::ExperimentSpec spec;
+        spec.engine = engine::EngineKind::kGraphXPregel;
+        spec.strategy = strategy;
+        spec.num_machines = 10;
+        spec.partitions_per_machine = 8;
+        spec.app = app;
+        spec.max_iterations = 10;
+        harness::ExperimentResult r = harness::RunExperiment(*edges, spec);
+        row.push_back(util::Table::Num(r.compute.compute_seconds, 4));
+        rankings[edges->name()][app].push_back(
+            {r.compute.compute_seconds, strategy});
+        min_ingress = std::min(min_ingress, r.ingress.ingress_seconds);
+        max_ingress = std::max(max_ingress, r.ingress.ingress_seconds);
+      }
+      row.push_back(util::Table::Num(max_ingress / min_ingress, 2) + "x");
+      table.AddRow(row);
+    }
+    ingress_spread[edges->name()] = max_ingress / min_ingress;
+    std::printf("\n%s\n", edges->name().c_str());
+    bench::PrintTable(table);
+  }
+
+  // Table 7.1: rankings in ascending compute time.
+  std::printf("\nTable 7.1 — computation-time rankings (fastest first):\n");
+  util::Table rank_table({"app", "road-net-CA", "road-net-USA",
+                          "LiveJournal", "Enwiki-2013"});
+  for (AppKind app : apps) {
+    std::vector<std::string> row{harness::AppKindName(app)};
+    for (const graph::EdgeList* edges : data.GraphXSet()) {
+      auto ranked = rankings[edges->name()][app];
+      std::sort(ranked.begin(), ranked.end());
+      std::string cell;
+      for (auto& [t, s] : ranked) {
+        if (!cell.empty()) cell += ",";
+        cell += gx_name(s);
+      }
+      row.push_back(cell);
+    }
+    rank_table.AddRow(row);
+  }
+  bench::PrintTable(rank_table);
+
+  // Table 7.1 parenthesizes strategies whose performance is close; we
+  // reproduce that by grouping times within 5% of the group's fastest and
+  // ranking by group. "Fastest or second fastest" then means group rank
+  // <= 2, exactly how the paper words its §7.4 summary.
+  auto group_rank = [&](const std::string& g, AppKind app, StrategyKind s) {
+    auto ranked = rankings[g][app];
+    std::sort(ranked.begin(), ranked.end());
+    size_t rank = 0;
+    double group_start = -1;
+    for (auto& [t, strat] : ranked) {
+      if (group_start < 0 || t > group_start * 1.05) {
+        ++rank;
+        group_start = t;
+      }
+      if (strat == s) return rank;
+    }
+    return rank + 1;
+  };
+
+  bool cr_good_on_roads = true;
+  for (const std::string g : {"road-net-CA", "road-net-USA"}) {
+    for (AppKind app : apps) {
+      cr_good_on_roads &= group_rank(g, app, StrategyKind::kRandom) <= 2;
+    }
+  }
+  bool twod_good_on_skewed = true;
+  for (const std::string g : {"LiveJournal", "Enwiki-2013"}) {
+    for (AppKind app : apps) {
+      twod_good_on_skewed &= group_rank(g, app, StrategyKind::kTwoD) <= 2;
+    }
+  }
+  bench::Claim(
+      "all strategies partition at similar speed (spread < 1.5x per graph)",
+      [&] {
+        for (auto& [g, spread] : ingress_spread) {
+          if (spread > 1.5) return false;
+        }
+        return true;
+      }());
+  bench::Claim(
+      "Canonical Random is fastest or second fastest (by near-tie group) "
+      "on road networks",
+      cr_good_on_roads);
+  bench::Claim(
+      "2D is fastest or second fastest (by near-tie group) on the skewed "
+      "graphs",
+      twod_good_on_skewed);
+
+  // The two claims above include 1D in the comparison; our communication
+  // model gives 1D a larger advantage than the real Spark runtime does
+  // (see EXPERIMENTS.md). The decision-relevant orderings the paper's
+  // GraphX rule rests on hold regardless:
+  auto time_of = [&](const std::string& g, AppKind app, StrategyKind s) {
+    for (auto& [t, strat] : rankings[g][app]) {
+      if (strat == s) return t;
+    }
+    return 1e30;
+  };
+  bool cr_beats_2d_on_roads = true;
+  for (const std::string g : {"road-net-CA", "road-net-USA"}) {
+    for (AppKind app : apps) {
+      cr_beats_2d_on_roads &= time_of(g, app, StrategyKind::kRandom) <=
+                              time_of(g, app, StrategyKind::kTwoD) * 1.02;
+    }
+  }
+  bool twod_top_among_hash_on_skewed = true;
+  for (const std::string g : {"LiveJournal", "Enwiki-2013"}) {
+    for (AppKind app : apps) {
+      double td = time_of(g, app, StrategyKind::kTwoD);
+      twod_top_among_hash_on_skewed &=
+          td <= time_of(g, app, StrategyKind::kAsymmetricRandom) * 1.05 &&
+          td <= time_of(g, app, StrategyKind::kRandom) * 1.05;
+    }
+  }
+  bench::Claim(
+      "decision rule basis: Canonical Random beats 2D on road networks",
+      cr_beats_2d_on_roads);
+  bench::Claim(
+      "decision rule basis: 2D beats Random/Canonical Random on skewed "
+      "graphs",
+      twod_top_among_hash_on_skewed);
+  return 0;
+}

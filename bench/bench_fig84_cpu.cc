@@ -1,0 +1,72 @@
+// Reproduces Fig 8.4: per-machine CPU utilization (box plots: min, p25,
+// median, p75, max) against compute-phase duration for all strategies, for
+// PageRank and K-Core on the UK-web analog at Local-9. Paper finding
+// (§8.2.4): the utilization/compute-time correlation is application-
+// dependent (opposite signs for the two apps), and load-imbalance spread
+// does not clearly correlate with compute time — so CPU utilization is not
+// a reliable performance indicator.
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace gdp;
+  using harness::AppKind;
+  using partition::StrategyKind;
+
+  bench::PrintHeader("Fig 8.4 — CPU utilization vs compute time (box plots)",
+                     "PowerLyra engine, 9 machines, UK-web analog");
+  bench::Datasets data = bench::MakeDatasets();
+
+  const std::vector<StrategyKind> strategies = {
+      StrategyKind::kOneD,   StrategyKind::kTwoD,
+      StrategyKind::kHybridGinger,   StrategyKind::kHdrf,
+      StrategyKind::kHybrid, StrategyKind::kAsymmetricRandom,
+      StrategyKind::kGrid,   StrategyKind::kOblivious,
+      StrategyKind::kRandom};
+
+  double corr_sign[2] = {0, 0};
+  double corr_r2[2] = {0, 0};
+  int app_index = 0;
+  for (AppKind app : {AppKind::kPageRankFixed, AppKind::kKCore}) {
+    util::Table table({"strategy", "compute(s)", "cpu min", "cpu p25",
+                       "cpu median", "cpu p75", "cpu max"});
+    std::vector<double> times, medians;
+    for (StrategyKind strategy : strategies) {
+      harness::ExperimentSpec spec;
+      spec.engine = engine::EngineKind::kPowerLyraHybrid;
+      spec.strategy = strategy;
+      spec.num_machines = 9;
+      spec.app = app;
+      spec.max_iterations = app == AppKind::kPageRankFixed ? 10 : 500;
+      spec.kcore_kmin = 5;
+      spec.kcore_kmax = 15;
+      harness::ExperimentResult r = harness::RunExperiment(data.ukweb, spec);
+      util::BoxStats box = util::ComputeBoxStats(r.cpu_utilizations);
+      table.AddRow({partition::StrategyName(strategy),
+                    util::Table::Num(r.compute.compute_seconds, 4),
+                    util::Table::Num(box.min * 100, 1),
+                    util::Table::Num(box.p25 * 100, 1),
+                    util::Table::Num(box.median * 100, 1),
+                    util::Table::Num(box.p75 * 100, 1),
+                    util::Table::Num(box.max * 100, 1)});
+      times.push_back(r.compute.compute_seconds);
+      medians.push_back(box.median);
+    }
+    std::printf("\n%s\n", harness::AppKindName(app));
+    bench::PrintTable(table);
+    util::LinearFit fit = util::FitLine(times, medians);
+    corr_sign[app_index] = fit.slope;
+    corr_r2[app_index] = fit.r2;
+    ++app_index;
+    std::printf("median-utilization vs compute-time slope: %.4f (R^2=%.3f)\n",
+                fit.slope, fit.r2);
+  }
+
+  bench::Claim(
+      "CPU utilization is not a reliable performance indicator: the "
+      "correlation flips sign between applications or is weak (R^2 < 0.3)",
+      corr_sign[0] * corr_sign[1] <= 0 || corr_r2[0] < 0.3 ||
+          corr_r2[1] < 0.3);
+  return 0;
+}

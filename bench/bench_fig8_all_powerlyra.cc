@@ -1,0 +1,98 @@
+// Reproduces Figs 8.1 and 8.2: replication factors and ingress
+// (partitioning) times for ALL NINE strategies implemented in PowerLyra,
+// on all five graphs, for Local-9 and EC2-25. Paper findings (§8.2):
+// non-native strategies almost never beat the best pre-existing PowerLyra
+// strategy (the one exception being HDRF ~ Oblivious), and Asymmetric
+// Random is worse than Random.
+
+#include <map>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace gdp;
+  using partition::StrategyKind;
+
+  bench::PrintHeader("Figs 8.1/8.2 — PowerLyra with all strategies",
+                     "9 strategies x 5 graphs x clusters {9,25}");
+  bench::Datasets data = bench::MakeDatasets();
+
+  // The paper's Fig 8.1/8.2 strategy set (1D-Target excluded there).
+  const std::vector<StrategyKind> strategies = {
+      StrategyKind::kOneD,   StrategyKind::kTwoD,
+      StrategyKind::kAsymmetricRandom, StrategyKind::kGrid,
+      StrategyKind::kHdrf,   StrategyKind::kHybrid,
+      StrategyKind::kHybridGinger,     StrategyKind::kOblivious,
+      StrategyKind::kRandom};
+
+  std::map<std::string, std::map<StrategyKind, double>> rf9;
+  for (uint32_t machines : {9u, 25u}) {
+    std::vector<std::string> header{"graph"};
+    for (StrategyKind s : strategies) header.push_back(partition::StrategyName(s));
+    util::Table rf_table(header);
+    util::Table time_table(header);
+    for (const graph::EdgeList* edges : data.PowerGraphSet()) {
+      std::vector<std::string> rf_row{edges->name()};
+      std::vector<std::string> time_row{edges->name()};
+      for (StrategyKind strategy : strategies) {
+        harness::ExperimentSpec spec;
+        spec.engine = engine::EngineKind::kPowerLyraHybrid;
+        spec.strategy = strategy;
+        spec.num_machines = machines;
+        harness::ExperimentResult r = harness::RunIngressOnly(*edges, spec);
+        rf_row.push_back(util::Table::Num(r.replication_factor));
+        time_row.push_back(util::Table::Num(r.ingress.ingress_seconds, 4));
+        if (machines == 9) rf9[edges->name()][strategy] = r.replication_factor;
+      }
+      rf_table.AddRow(rf_row);
+      time_table.AddRow(time_row);
+    }
+    std::printf("\ncluster: %u machines — Fig 8.1 replication factors\n",
+                machines);
+    bench::PrintTable(rf_table);
+    std::printf("cluster: %u machines — Fig 8.2 partitioning times (s)\n",
+                machines);
+    bench::PrintTable(time_table);
+  }
+
+  bench::Claim("Asymmetric Random has a higher RF than Random on every graph",
+               [&] {
+                 for (auto& [g, per] : rf9) {
+                   if (per[StrategyKind::kAsymmetricRandom] <
+                       per[StrategyKind::kRandom] - 1e-9) {
+                     return false;
+                   }
+                 }
+                 return true;
+               }());
+  bench::Claim(
+      "HDRF performs like Oblivious (within 10% RF everywhere) — the one "
+      "non-native strategy that matches a native one",
+      [&] {
+        for (auto& [g, per] : rf9) {
+          double ratio =
+              per[StrategyKind::kHdrf] / per[StrategyKind::kOblivious];
+          if (ratio < 0.80 || ratio > 1.20) return false;
+        }
+        return true;
+      }());
+  bench::Claim(
+      "for each graph, some native PowerLyra strategy is within 15% of the "
+      "overall best RF (non-native strategies don't change the tree)",
+      [&] {
+        const std::vector<StrategyKind> native = {
+            StrategyKind::kRandom, StrategyKind::kGrid,
+            StrategyKind::kOblivious, StrategyKind::kHybrid,
+            StrategyKind::kHybridGinger};
+        for (auto& [g, per] : rf9) {
+          double best = 1e30, best_native = 1e30;
+          for (auto& [s, rf] : per) best = std::min(best, rf);
+          for (StrategyKind s : native) {
+            best_native = std::min(best_native, per[s]);
+          }
+          if (best_native > best * 1.15) return false;
+        }
+        return true;
+      }());
+  return 0;
+}

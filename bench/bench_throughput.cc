@@ -1,0 +1,88 @@
+// Wall-clock microbenchmarks (google-benchmark): raw streaming assignment
+// throughput of every partitioning strategy, in edges/second on this
+// machine. Unlike the figure benches (which report *simulated* cluster
+// time), these numbers are real: streaming partitioner CPU cost is a
+// machine-local quantity the paper's ingress results ultimately rest on.
+// Expected shape: hash/constrained strategies run at hundreds of millions
+// of edges/s; greedy heuristics are an order of magnitude slower; Hybrid
+// variants pay for extra passes.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+
+namespace {
+
+using gdp::graph::EdgeList;
+using gdp::partition::MakePartitioner;
+using gdp::partition::PartitionContext;
+using gdp::partition::Partitioner;
+using gdp::partition::StrategyKind;
+
+const EdgeList& BenchGraph() {
+  static const EdgeList* graph = new EdgeList(gdp::graph::GenerateHeavyTailed(
+      {.num_vertices = 50000, .edges_per_vertex = 8, .seed = 0xBE}));
+  return *graph;
+}
+
+void RunStrategy(benchmark::State& state, StrategyKind kind,
+                 uint32_t partitions) {
+  const EdgeList& edges = BenchGraph();
+  for (auto _ : state) {
+    state.PauseTiming();
+    PartitionContext context;
+    context.num_partitions = partitions;
+    context.num_vertices = edges.num_vertices();
+    context.num_loaders = 1;
+    context.seed = 7;
+    std::unique_ptr<Partitioner> p = MakePartitioner(kind, context);
+    state.ResumeTiming();
+    for (uint32_t pass = 0; pass < p->num_passes(); ++pass) {
+      p->BeginPass(pass);
+      for (const auto& e : edges.edges()) {
+        benchmark::DoNotOptimize(p->Assign(e, pass, 0));
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(edges.num_edges()));
+}
+
+void BM_Random(benchmark::State& s) { RunStrategy(s, StrategyKind::kRandom, 16); }
+void BM_AsymRandom(benchmark::State& s) {
+  RunStrategy(s, StrategyKind::kAsymmetricRandom, 16);
+}
+void BM_Grid(benchmark::State& s) { RunStrategy(s, StrategyKind::kGrid, 16); }
+void BM_Pds(benchmark::State& s) { RunStrategy(s, StrategyKind::kPds, 13); }
+void BM_OneD(benchmark::State& s) { RunStrategy(s, StrategyKind::kOneD, 16); }
+void BM_OneDTarget(benchmark::State& s) {
+  RunStrategy(s, StrategyKind::kOneDTarget, 16);
+}
+void BM_TwoD(benchmark::State& s) { RunStrategy(s, StrategyKind::kTwoD, 16); }
+void BM_Oblivious(benchmark::State& s) {
+  RunStrategy(s, StrategyKind::kOblivious, 16);
+}
+void BM_Hdrf(benchmark::State& s) { RunStrategy(s, StrategyKind::kHdrf, 16); }
+void BM_Hybrid(benchmark::State& s) {
+  RunStrategy(s, StrategyKind::kHybrid, 16);
+}
+void BM_HybridGinger(benchmark::State& s) {
+  RunStrategy(s, StrategyKind::kHybridGinger, 16);
+}
+
+BENCHMARK(BM_Random);
+BENCHMARK(BM_AsymRandom);
+BENCHMARK(BM_Grid);
+BENCHMARK(BM_Pds);
+BENCHMARK(BM_OneD);
+BENCHMARK(BM_OneDTarget);
+BENCHMARK(BM_TwoD);
+BENCHMARK(BM_Oblivious);
+BENCHMARK(BM_Hdrf);
+BENCHMARK(BM_Hybrid);
+BENCHMARK(BM_HybridGinger);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,169 @@
+#include "advisor/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "partition/ingest.h"
+#include "sim/cluster.h"
+
+namespace gdp::advisor {
+
+using graph::GraphClass;
+using partition::StrategyKind;
+
+const char* SystemName(System system) {
+  switch (system) {
+    case System::kPowerGraph:
+      return "PowerGraph";
+    case System::kPowerLyra:
+      return "PowerLyra";
+    case System::kGraphX:
+      return "GraphX";
+  }
+  return "?";
+}
+
+bool IsPerfectSquare(uint32_t n) {
+  uint32_t root = static_cast<uint32_t>(std::sqrt(static_cast<double>(n)));
+  // Guard against floating-point rounding on either side.
+  for (uint32_t r = root > 0 ? root - 1 : 0; r <= root + 1; ++r) {
+    if (r * r == n) return true;
+  }
+  return false;
+}
+
+Recommendation RecommendPowerGraph(const Workload& workload) {
+  // Fig 5.9.
+  if (workload.graph_class == GraphClass::kLowDegree) {
+    return {{StrategyKind::kHdrf, StrategyKind::kOblivious},
+            "low-degree graph -> HDRF/Oblivious"};
+  }
+  if (workload.graph_class == GraphClass::kHeavyTailed) {
+    if (IsPerfectSquare(workload.num_machines)) {
+      return {{StrategyKind::kGrid},
+              "heavy-tailed graph -> N^2 machines -> Grid"};
+    }
+    return {{StrategyKind::kHdrf, StrategyKind::kOblivious},
+            "heavy-tailed graph -> non-square cluster -> HDRF/Oblivious"};
+  }
+  // Power-law / other graphs: job duration decides.
+  if (workload.compute_ingress_ratio > 1.0) {
+    return {{StrategyKind::kHdrf, StrategyKind::kOblivious},
+            "power-law graph -> compute/ingress > 1 -> HDRF/Oblivious"};
+  }
+  if (IsPerfectSquare(workload.num_machines)) {
+    return {{StrategyKind::kGrid},
+            "power-law graph -> compute/ingress <= 1 -> N^2 machines -> "
+            "Grid"};
+  }
+  return {{StrategyKind::kHdrf, StrategyKind::kOblivious},
+          "power-law graph -> compute/ingress <= 1 -> non-square cluster -> "
+          "HDRF/Oblivious"};
+}
+
+Recommendation RecommendPowerLyra(const Workload& workload,
+                                  bool all_strategies) {
+  // Fig 6.6, with the Chapter 8 widening of Oblivious to HDRF/Oblivious.
+  std::vector<StrategyKind> oblivious_like =
+      all_strategies
+          ? std::vector<StrategyKind>{StrategyKind::kHdrf,
+                                      StrategyKind::kOblivious}
+          : std::vector<StrategyKind>{StrategyKind::kOblivious};
+  const char* oblivious_name =
+      all_strategies ? "HDRF/Oblivious" : "Oblivious";
+
+  if (workload.graph_class == GraphClass::kLowDegree) {
+    return {oblivious_like,
+            std::string("low-degree graph -> ") + oblivious_name};
+  }
+  if (workload.natural_application) {
+    return {{StrategyKind::kHybrid},
+            "skewed graph -> natural application -> Hybrid"};
+  }
+  if (workload.graph_class == GraphClass::kHeavyTailed) {
+    if (IsPerfectSquare(workload.num_machines)) {
+      return {{StrategyKind::kGrid},
+              "heavy-tailed graph -> non-natural app -> N^2 machines -> "
+              "Grid"};
+    }
+    return {{StrategyKind::kHybrid},
+            "heavy-tailed graph -> non-natural app -> non-square cluster "
+            "-> Hybrid"};
+  }
+  if (workload.compute_ingress_ratio > 1.0) {
+    return {oblivious_like,
+            std::string("power-law graph -> compute/ingress > 1 -> ") +
+                oblivious_name};
+  }
+  if (IsPerfectSquare(workload.num_machines)) {
+    return {{StrategyKind::kGrid},
+            "power-law graph -> compute/ingress <= 1 -> N^2 machines -> "
+            "Grid"};
+  }
+  return {{StrategyKind::kHybrid},
+          "power-law graph -> compute/ingress <= 1 -> non-square cluster "
+          "-> Hybrid"};
+}
+
+Recommendation RecommendGraphX(const Workload& workload,
+                               bool all_strategies) {
+  if (workload.graph_class == GraphClass::kLowDegree) {
+    if (all_strategies && workload.compute_ingress_ratio > 1.0) {
+      // Fig 9.3: long jobs on low-degree graphs favor the greedy imports.
+      return {{StrategyKind::kHdrf, StrategyKind::kOblivious},
+              "low-degree graph -> long job -> HDRF/Oblivious"};
+    }
+    return {{StrategyKind::kRandom},
+            all_strategies
+                ? "low-degree graph -> short job -> Canonical Random"
+                : "low-degree graph -> Canonical Random"};
+  }
+  // Power-law / heavy-tailed: 2D regardless of job length (§7.4, §9.2.2).
+  return {{StrategyKind::kTwoD}, "skewed graph -> 2D"};
+}
+
+ProbeResult ProbeStrategies(
+    const graph::EdgeList& edges, uint32_t num_machines,
+    const std::vector<StrategyKind>& candidates, double sample_fraction,
+    uint64_t seed) {
+  // Prefix sample: the paper's datasets stream in file order, so the
+  // candidates see exactly what a real partial ingest would see.
+  uint64_t sample_edges = static_cast<uint64_t>(
+      static_cast<double>(edges.num_edges()) * sample_fraction);
+  if (sample_edges < 1) sample_edges = edges.num_edges();
+  graph::EdgeList sample("probe-sample", edges.num_vertices(), {});
+  sample.mutable_edges().assign(edges.edges().begin(),
+                                edges.edges().begin() + sample_edges);
+
+  ProbeResult result;
+  for (StrategyKind strategy : candidates) {
+    sim::Cluster cluster(num_machines, sim::CostModel{});
+    partition::PartitionContext context;
+    context.num_partitions = num_machines;
+    context.num_vertices = edges.num_vertices();
+    context.num_loaders = num_machines;
+    context.seed = seed;
+    partition::IngestResult ingest = partition::IngestWithStrategy(
+        sample, strategy, context, cluster);
+    result.ranking.emplace_back(strategy,
+                                ingest.report.replication_factor);
+  }
+  std::sort(result.ranking.begin(), result.ranking.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  result.best = result.ranking.front().first;
+  return result;
+}
+
+Recommendation Recommend(System system, const Workload& workload) {
+  switch (system) {
+    case System::kPowerGraph:
+      return RecommendPowerGraph(workload);
+    case System::kPowerLyra:
+      return RecommendPowerLyra(workload);
+    case System::kGraphX:
+      return RecommendGraphX(workload);
+  }
+  return RecommendPowerGraph(workload);
+}
+
+}  // namespace gdp::advisor

@@ -1,0 +1,87 @@
+#ifndef GDP_ADVISOR_ADVISOR_H_
+#define GDP_ADVISOR_ADVISOR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph_stats.h"
+#include "partition/partitioner.h"
+
+namespace gdp::advisor {
+
+/// Which system the user is picking a strategy for.
+enum class System { kPowerGraph, kPowerLyra, kGraphX };
+
+const char* SystemName(System system);
+
+/// Everything the paper's decision trees condition on.
+struct Workload {
+  /// Degree-distribution class of the input graph (compute via
+  /// graph::ComputeGraphStats, or supply directly).
+  graph::GraphClass graph_class = graph::GraphClass::kLowDegree;
+  /// Expected compute-time / ingress-time ratio. > 1 means long-running
+  /// jobs (k-core, many-iteration PageRank, or partitions reused across
+  /// jobs); <= 1 means short jobs dominated by loading.
+  double compute_ingress_ratio = 1.0;
+  /// Number of machines in the cluster.
+  uint32_t num_machines = 0;
+  /// Whether the application is "natural" — gathers from one edge
+  /// direction and scatters to the other (§6.1). Only PowerLyra's tree
+  /// consults this.
+  bool natural_application = false;
+};
+
+/// A strategy recommendation plus the tree path that produced it.
+struct Recommendation {
+  /// Acceptable strategies, best first (the paper often recommends
+  /// "HDRF/Oblivious" jointly).
+  std::vector<partition::StrategyKind> strategies;
+  /// Human-readable decision path, e.g. "heavy-tailed -> N^2 machines ->
+  /// Grid".
+  std::string rationale;
+
+  partition::StrategyKind primary() const { return strategies.front(); }
+};
+
+/// True when `n` is a perfect square — the "N^2 machines?" test in the
+/// PowerGraph/PowerLyra trees (Grid's native requirement).
+bool IsPerfectSquare(uint32_t n);
+
+/// The paper's decision tree for PowerGraph (Fig 5.9).
+Recommendation RecommendPowerGraph(const Workload& workload);
+
+/// The paper's decision tree for PowerLyra (Fig 6.6); with
+/// `all_strategies` true, returns the Chapter 8 variant (identical shape,
+/// "Oblivious" widened to "HDRF/Oblivious", §8.2.1).
+Recommendation RecommendPowerLyra(const Workload& workload,
+                                  bool all_strategies = false);
+
+/// GraphX: the §7.4 rule (native strategies only: Canonical Random for
+/// low-degree, 2D otherwise) or, with `all_strategies`, the Fig 9.3 tree
+/// (low-degree graphs additionally split on job length).
+Recommendation RecommendGraphX(const Workload& workload,
+                               bool all_strategies = false);
+
+/// Dispatches on `system` (native strategy sets).
+Recommendation Recommend(System system, const Workload& workload);
+
+/// Measurement-based alternative to the decision trees: streams only the
+/// first `sample_fraction` of the edge list through each candidate
+/// strategy and ranks them by the sampled replication factor. Replication
+/// factors grow smoothly with the prefix length, so the sample ordering
+/// almost always matches the full ordering at a fraction of the cost —
+/// a practical shortcut when the graph's class is unknown or borderline.
+struct ProbeResult {
+  partition::StrategyKind best;
+  /// (strategy, sampled replication factor), best first.
+  std::vector<std::pair<partition::StrategyKind, double>> ranking;
+};
+ProbeResult ProbeStrategies(
+    const graph::EdgeList& edges, uint32_t num_machines,
+    const std::vector<partition::StrategyKind>& candidates,
+    double sample_fraction = 0.1, uint64_t seed = 0);
+
+}  // namespace gdp::advisor
+
+#endif  // GDP_ADVISOR_ADVISOR_H_

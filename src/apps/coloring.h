@@ -1,0 +1,77 @@
+#ifndef GDP_APPS_COLORING_H_
+#define GDP_APPS_COLORING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "engine/gas_app.h"
+
+namespace gdp::apps {
+
+/// Simple (greedy, non-minimal) graph coloring (§3.3.5): every vertex
+/// starts with color 0; a vertex that conflicts with a *higher-priority*
+/// (lower-id) neighbor recolors itself to the smallest color unused among
+/// its neighbors. The priority rule prevents the two-neighbor oscillation a
+/// naive synchronous rule suffers. PowerGraph runs this application on the
+/// asynchronous engine (see engine/async_coloring.h); this GAS formulation
+/// is used for the synchronous baseline and validation.
+struct ColoringApp {
+  using State = uint32_t;
+  /// (neighbor id, neighbor color) pairs; "aggregation" is concatenation.
+  using Gather = std::vector<std::pair<graph::VertexId, uint32_t>>;
+  static constexpr engine::EdgeDirection kGatherDir =
+      engine::EdgeDirection::kBoth;
+  static constexpr engine::EdgeDirection kScatterDir =
+      engine::EdgeDirection::kBoth;
+  static constexpr bool kBootstrapScatter = false;
+
+  State InitState(graph::VertexId, const engine::AppContext&) const {
+    return 0;
+  }
+  bool InitiallyActive(graph::VertexId) const { return true; }
+  Gather GatherInit() const { return {}; }
+
+  void GatherEdge(graph::VertexId, graph::VertexId nbr,
+                  const State& nbr_state, const engine::AppContext&,
+                  Gather* acc) const {
+    acc->emplace_back(nbr, nbr_state);
+  }
+
+  bool Apply(graph::VertexId v, const Gather& acc, bool has_gather,
+             const engine::AppContext&, State* state) const {
+    if (!has_gather) return false;
+    bool conflict = false;
+    for (const auto& [nbr, color] : acc) {
+      if (color == *state && nbr < v) {
+        conflict = true;
+        break;
+      }
+    }
+    if (!conflict) return false;
+    *state = SmallestFreeColor(acc);
+    return true;
+  }
+
+  /// Smallest non-negative integer not used by any pair in `acc`.
+  static uint32_t SmallestFreeColor(const Gather& acc) {
+    std::vector<uint32_t> used;
+    used.reserve(acc.size());
+    for (const auto& [nbr, color] : acc) used.push_back(color);
+    std::sort(used.begin(), used.end());
+    uint32_t candidate = 0;
+    for (uint32_t color : used) {
+      if (color == candidate) {
+        ++candidate;
+      } else if (color > candidate) {
+        break;
+      }
+    }
+    return candidate;
+  }
+};
+
+}  // namespace gdp::apps
+
+#endif  // GDP_APPS_COLORING_H_

@@ -1,0 +1,81 @@
+#ifndef GDP_APPS_KCORE_H_
+#define GDP_APPS_KCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/gas_app.h"
+#include "engine/gas_engine.h"
+#include "engine/run_stats.h"
+#include "partition/distributed_graph.h"
+#include "sim/cluster.h"
+
+namespace gdp::apps {
+
+/// One pruning stage of k-core decomposition (§3.3.3): repeatedly remove
+/// vertices whose count of surviving neighbors is below k. The full
+/// decomposition (KCoreDecompose below) runs this for k = kmin..kmax,
+/// seeding each stage with the survivors of the previous one — matching the
+/// PowerGraph application's kmin/kmax interface. Long-running and
+/// compute-dominated, the paper's example of a high compute/ingress-ratio
+/// job (Table 5.1).
+struct KCoreApp {
+  using State = uint8_t;  // 1 = alive in the current k-core
+  using Gather = uint32_t;
+  static constexpr engine::EdgeDirection kGatherDir =
+      engine::EdgeDirection::kBoth;
+  static constexpr engine::EdgeDirection kScatterDir =
+      engine::EdgeDirection::kBoth;
+  static constexpr bool kBootstrapScatter = false;
+
+  uint32_t k = 1;
+  /// Survivors of the previous stage; empty means "all alive".
+  const std::vector<bool>* initial_alive = nullptr;
+
+  State InitState(graph::VertexId v, const engine::AppContext&) const {
+    return initial_alive == nullptr || (*initial_alive)[v];
+  }
+  bool InitiallyActive(graph::VertexId v) const {
+    return initial_alive == nullptr || (*initial_alive)[v];
+  }
+  Gather GatherInit() const { return 0; }
+
+  void GatherEdge(graph::VertexId, graph::VertexId,
+                  const State& nbr_state, const engine::AppContext&,
+                  Gather* acc) const {
+    if (nbr_state != 0) ++(*acc);
+  }
+
+  bool Apply(graph::VertexId, const Gather& acc, bool,
+             const engine::AppContext&, State* state) const {
+    if (*state == 0) return false;
+    if (acc < k) {
+      *state = 0;  // pruned: signal neighbors to recount
+      return true;
+    }
+    return false;
+  }
+};
+
+/// Result of a full k-core decomposition sweep.
+struct KCoreResult {
+  /// core_number[v]: largest k in [kmin, kmax] whose k-core contains v
+  /// (kmin - 1 when v is not even in the kmin-core).
+  std::vector<uint32_t> core_number;
+  /// Survivor count per k.
+  std::vector<uint64_t> core_sizes;
+  engine::RunStats stats;  ///< aggregated over all stages
+};
+
+/// Runs k-core decomposition for all k in [kmin, kmax] on `engine_kind`,
+/// charging `cluster`. Matches the paper's configuration kmin=10, kmax=20
+/// (§5.3) by default at call sites.
+KCoreResult KCoreDecompose(engine::EngineKind engine_kind,
+                           const partition::DistributedGraph& dg,
+                           sim::Cluster& cluster, uint32_t kmin,
+                           uint32_t kmax,
+                           const engine::RunOptions& options = {});
+
+}  // namespace gdp::apps
+
+#endif  // GDP_APPS_KCORE_H_

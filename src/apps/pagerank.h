@@ -1,0 +1,61 @@
+#ifndef GDP_APPS_PAGERANK_H_
+#define GDP_APPS_PAGERANK_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "engine/gas_app.h"
+
+namespace gdp::apps {
+
+/// PageRank (§3.3.1): p(v) = (1 - d) + d * sum_{u in Ni(v)} p(u)/|No(u)|,
+/// starting from p(v) = 1. A *natural* application: gathers from
+/// in-neighbors, scatters to out-neighbors.
+///
+/// tolerance == 0 reproduces the paper's PageRank(10)/PageRank(25) fixed-
+/// iteration runs (every vertex re-signals each superstep; the engine's
+/// max_iterations caps the run). tolerance > 0 reproduces PageRank(C),
+/// run-to-convergence.
+struct PageRankApp {
+  using State = double;
+  using Gather = double;
+  static constexpr engine::EdgeDirection kGatherDir =
+      engine::EdgeDirection::kIn;
+  static constexpr engine::EdgeDirection kScatterDir =
+      engine::EdgeDirection::kOut;
+  static constexpr bool kBootstrapScatter = false;
+
+  double damping = 0.85;
+  double tolerance = 0.0;
+
+  State InitState(graph::VertexId, const engine::AppContext&) const {
+    return 1.0;
+  }
+  bool InitiallyActive(graph::VertexId) const { return true; }
+  Gather GatherInit() const { return 0.0; }
+
+  void GatherEdge(graph::VertexId, graph::VertexId nbr,
+                  const State& nbr_state, const engine::AppContext& ctx,
+                  Gather* acc) const {
+    uint64_t out = ctx.OutDegree(nbr);
+    *acc += nbr_state / static_cast<double>(out > 0 ? out : 1);
+  }
+
+  bool Apply(graph::VertexId, const Gather& acc, bool has_gather,
+             const engine::AppContext&, State* state) const {
+    double next = (1.0 - damping) + damping * (has_gather ? acc : 0.0);
+    double delta = std::abs(next - *state);
+    *state = next;
+    return delta > tolerance;
+  }
+};
+
+/// Factory helpers matching the paper's two PageRank configurations.
+inline PageRankApp PageRankFixed() { return PageRankApp{0.85, 0.0}; }
+inline PageRankApp PageRankConvergent(double tolerance = 1e-3) {
+  return PageRankApp{0.85, tolerance};
+}
+
+}  // namespace gdp::apps
+
+#endif  // GDP_APPS_PAGERANK_H_

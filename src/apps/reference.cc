@@ -1,0 +1,122 @@
+#include "apps/reference.h"
+
+#include <deque>
+#include <limits>
+#include <numeric>
+
+namespace gdp::apps {
+
+std::vector<double> ReferencePageRank(const graph::EdgeList& edges,
+                                      double damping, uint32_t iterations) {
+  const graph::VertexId n = edges.num_vertices();
+  std::vector<uint64_t> out_degree = edges.OutDegrees();
+  std::vector<double> rank(n, 1.0);
+  std::vector<double> next(n, 0.0);
+  for (uint32_t iter = 0; iter < iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (const graph::Edge& e : edges.edges()) {
+      next[e.dst] += rank[e.src] /
+                     static_cast<double>(out_degree[e.src] > 0
+                                             ? out_degree[e.src]
+                                             : 1);
+    }
+    for (graph::VertexId v = 0; v < n; ++v) {
+      next[v] = (1.0 - damping) + damping * next[v];
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<graph::VertexId> ReferenceWcc(const graph::EdgeList& edges) {
+  const graph::VertexId n = edges.num_vertices();
+  // Union-find with path halving; roots then remapped to the component min.
+  std::vector<graph::VertexId> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](graph::VertexId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const graph::Edge& e : edges.edges()) {
+    graph::VertexId a = find(e.src);
+    graph::VertexId b = find(e.dst);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+  std::vector<graph::VertexId> label(n);
+  for (graph::VertexId v = 0; v < n; ++v) label[v] = find(v);
+  return label;
+}
+
+std::vector<uint32_t> ReferenceSssp(const graph::EdgeList& edges,
+                                    graph::VertexId source, bool directed) {
+  const graph::VertexId n = edges.num_vertices();
+  // Adjacency (directed or symmetric) in CSR form, then plain BFS.
+  std::vector<uint64_t> offsets(static_cast<size_t>(n) + 1, 0);
+  for (const graph::Edge& e : edges.edges()) {
+    ++offsets[e.src + 1];
+    if (!directed) ++offsets[e.dst + 1];
+  }
+  for (size_t v = 1; v < offsets.size(); ++v) offsets[v] += offsets[v - 1];
+  std::vector<graph::VertexId> adjacency(offsets.back());
+  std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const graph::Edge& e : edges.edges()) {
+    adjacency[cursor[e.src]++] = e.dst;
+    if (!directed) adjacency[cursor[e.dst]++] = e.src;
+  }
+  std::vector<uint32_t> dist(n, std::numeric_limits<uint32_t>::max());
+  if (source >= n) return dist;
+  std::deque<graph::VertexId> queue{source};
+  dist[source] = 0;
+  while (!queue.empty()) {
+    graph::VertexId v = queue.front();
+    queue.pop_front();
+    for (uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      graph::VertexId u = adjacency[i];
+      if (dist[u] == std::numeric_limits<uint32_t>::max()) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<bool> ReferenceKCore(const graph::EdgeList& edges, uint32_t k,
+                                 const std::vector<bool>& initial_alive) {
+  const graph::VertexId n = edges.num_vertices();
+  std::vector<bool> alive(n, true);
+  if (!initial_alive.empty()) alive = initial_alive;
+  // Iterative pruning until fixpoint (degree counts restricted to alive
+  // endpoints).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<uint64_t> degree(n, 0);
+    for (const graph::Edge& e : edges.edges()) {
+      if (alive[e.src] && alive[e.dst]) {
+        ++degree[e.src];
+        ++degree[e.dst];
+      }
+    }
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (alive[v] && degree[v] < k) {
+        alive[v] = false;
+        changed = true;
+      }
+    }
+  }
+  return alive;
+}
+
+bool IsProperColoring(const graph::EdgeList& edges,
+                      const std::vector<uint32_t>& colors) {
+  for (const graph::Edge& e : edges.edges()) {
+    if (e.src != e.dst && colors[e.src] == colors[e.dst]) return false;
+  }
+  return true;
+}
+
+}  // namespace gdp::apps

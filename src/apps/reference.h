@@ -1,0 +1,41 @@
+#ifndef GDP_APPS_REFERENCE_H_
+#define GDP_APPS_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace gdp::apps {
+
+/// Sequential, single-machine reference implementations used to validate
+/// the distributed engines: for any partitioning strategy and engine kind,
+/// the engine's results must equal these (partitioning must never change
+/// answers, only costs).
+
+/// Unnormalized PageRank per the paper's update rule, `iterations` rounds
+/// of synchronous updates starting from 1.0.
+std::vector<double> ReferencePageRank(const graph::EdgeList& edges,
+                                      double damping, uint32_t iterations);
+
+/// Weakly connected components: label[v] = smallest vertex id in v's
+/// component (isolated vertices keep their own id).
+std::vector<graph::VertexId> ReferenceWcc(const graph::EdgeList& edges);
+
+/// Unit-weight shortest-path distances from `source`; UINT32_MAX when
+/// unreachable. Treats edges as undirected when `directed` is false.
+std::vector<uint32_t> ReferenceSssp(const graph::EdgeList& edges,
+                                    graph::VertexId source, bool directed);
+
+/// k-core membership: alive[v] is true iff v survives pruning at `k`
+/// (undirected degree), starting from `initial_alive` (empty = all).
+std::vector<bool> ReferenceKCore(const graph::EdgeList& edges, uint32_t k,
+                                 const std::vector<bool>& initial_alive = {});
+
+/// True iff no edge connects two identically-colored distinct vertices.
+bool IsProperColoring(const graph::EdgeList& edges,
+                      const std::vector<uint32_t>& colors);
+
+}  // namespace gdp::apps
+
+#endif  // GDP_APPS_REFERENCE_H_

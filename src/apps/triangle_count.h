@@ -1,0 +1,88 @@
+#ifndef GDP_APPS_TRIANGLE_COUNT_H_
+#define GDP_APPS_TRIANGLE_COUNT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "engine/gas_engine.h"
+#include "engine/run_stats.h"
+#include "partition/distributed_graph.h"
+#include "sim/cluster.h"
+
+namespace gdp::apps {
+
+/// Triangle counting — PowerGraph's flagship heavy application (its paper's
+/// headline benchmark), included here as an extension workload beyond the
+/// thesis' five. Classic two-superstep GAS formulation:
+///
+///   superstep 1: every vertex gathers its neighbor ids into a sorted list
+///   (its state);
+///   superstep 2: every vertex gathers, per adjacent edge, the size of the
+///   intersection between its list and the neighbor's list.
+///
+/// Each triangle {a,b,c} is then counted once per edge per endpoint: the
+/// final per-vertex count divided by 2 is the number of triangles through
+/// that vertex, and the global sum divided by 6 is the triangle count.
+/// Heavy gather payloads make this the most network-hungry app in the
+/// suite — the regime where low replication factors matter most.
+///
+/// Run via CountTriangles() below, which drives the two phases.
+struct NeighborListApp {
+  struct VertexState {
+    std::vector<graph::VertexId> neighbors;  // sorted, deduplicated
+    uint64_t triangle_endpoints = 0;  // 2x triangles through this vertex
+
+    bool operator==(const VertexState&) const = default;
+  };
+  using State = VertexState;
+  using Gather = std::vector<graph::VertexId>;
+  static constexpr engine::EdgeDirection kGatherDir =
+      engine::EdgeDirection::kBoth;
+  static constexpr engine::EdgeDirection kScatterDir =
+      engine::EdgeDirection::kNone;
+  static constexpr bool kBootstrapScatter = false;
+
+  State InitState(graph::VertexId, const engine::AppContext&) const {
+    return {};
+  }
+  bool InitiallyActive(graph::VertexId) const { return true; }
+  Gather GatherInit() const { return {}; }
+
+  void GatherEdge(graph::VertexId, graph::VertexId nbr, const State&,
+                  const engine::AppContext&, Gather* acc) const {
+    acc->push_back(nbr);
+  }
+
+  bool Apply(graph::VertexId, const Gather& acc, bool,
+             const engine::AppContext&, State* state) const {
+    state->neighbors = acc;
+    std::sort(state->neighbors.begin(), state->neighbors.end());
+    state->neighbors.erase(
+        std::unique(state->neighbors.begin(), state->neighbors.end()),
+        state->neighbors.end());
+    return false;  // one superstep, no reactivation
+  }
+};
+
+/// Result of a triangle count run.
+struct TriangleCountResult {
+  uint64_t total_triangles = 0;
+  /// Triangles through each vertex.
+  std::vector<uint64_t> per_vertex;
+  engine::RunStats stats;
+};
+
+/// Runs the two-phase triangle count on the simulated cluster.
+TriangleCountResult CountTriangles(engine::EngineKind kind,
+                                   const partition::DistributedGraph& dg,
+                                   sim::Cluster& cluster,
+                                   const engine::RunOptions& options = {});
+
+/// Sequential reference: exact triangle count via sorted-adjacency
+/// intersection.
+uint64_t ReferenceTriangleCount(const graph::EdgeList& edges);
+
+}  // namespace gdp::apps
+
+#endif  // GDP_APPS_TRIANGLE_COUNT_H_

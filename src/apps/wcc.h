@@ -1,0 +1,50 @@
+#ifndef GDP_APPS_WCC_H_
+#define GDP_APPS_WCC_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "engine/gas_app.h"
+
+namespace gdp::apps {
+
+/// Weakly Connected Components via label propagation (§3.3.2): every vertex
+/// starts with its own id and repeatedly adopts the minimum label among its
+/// neighbors (both edge directions — weak connectivity), until quiescence.
+/// Not a natural application: gathers and scatters in both directions.
+struct WccApp {
+  using State = graph::VertexId;
+  using Gather = graph::VertexId;
+  static constexpr engine::EdgeDirection kGatherDir =
+      engine::EdgeDirection::kBoth;
+  static constexpr engine::EdgeDirection kScatterDir =
+      engine::EdgeDirection::kBoth;
+  static constexpr bool kBootstrapScatter = false;
+
+  State InitState(graph::VertexId v, const engine::AppContext&) const {
+    return v;
+  }
+  bool InitiallyActive(graph::VertexId) const { return true; }
+  Gather GatherInit() const {
+    return std::numeric_limits<graph::VertexId>::max();
+  }
+
+  void GatherEdge(graph::VertexId, graph::VertexId,
+                  const State& nbr_state, const engine::AppContext&,
+                  Gather* acc) const {
+    *acc = std::min(*acc, nbr_state);
+  }
+
+  bool Apply(graph::VertexId, const Gather& acc, bool has_gather,
+             const engine::AppContext&, State* state) const {
+    if (has_gather && acc < *state) {
+      *state = acc;
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace gdp::apps
+
+#endif  // GDP_APPS_WCC_H_

@@ -1,0 +1,81 @@
+#include "engine/edge_cut.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "partition/ingest.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace gdp::engine {
+
+EdgeCutAnalysis AnalyzeEdgeCut(const graph::EdgeList& edges,
+                               uint32_t num_machines, uint64_t seed,
+                               bool range_placement) {
+  GDP_CHECK_GT(num_machines, 0u);
+  EdgeCutAnalysis analysis;
+  analysis.num_machines = num_machines;
+
+  const uint64_t n = std::max<graph::VertexId>(edges.num_vertices(), 1);
+  auto machine_of = [&](graph::VertexId v) {
+    if (range_placement) {
+      return static_cast<uint32_t>(static_cast<uint64_t>(v) *
+                                   num_machines / n);
+    }
+    return static_cast<uint32_t>(util::Mix64(v ^ seed) % num_machines);
+  };
+
+  std::vector<uint64_t> degree_mass(num_machines, 0);
+  for (const graph::Edge& e : edges.edges()) {
+    uint32_t ms = machine_of(e.src);
+    uint32_t md = machine_of(e.dst);
+    ++degree_mass[ms];
+    ++degree_mass[md];
+    if (ms != md) ++analysis.cut_edges;
+  }
+  analysis.cut_fraction =
+      edges.num_edges() > 0
+          ? static_cast<double>(analysis.cut_edges) / edges.num_edges()
+          : 0.0;
+  // Each cut edge carries traffic in both directions per superstep
+  // (neighbor values flow along the edge for gathers on either side).
+  analysis.messages_per_superstep = 2 * analysis.cut_edges;
+
+  uint64_t max_mass =
+      *std::max_element(degree_mass.begin(), degree_mass.end());
+  double mean_mass = static_cast<double>(2 * edges.num_edges()) /
+                     num_machines;
+  analysis.load_imbalance =
+      mean_mass > 0 ? static_cast<double>(max_mass) / mean_mass : 1.0;
+  return analysis;
+}
+
+VertexCutAnalysis AnalyzeRandomVertexCut(const graph::EdgeList& edges,
+                                         uint32_t num_machines,
+                                         uint64_t seed) {
+  GDP_CHECK_GT(num_machines, 0u);
+  sim::Cluster cluster(num_machines, sim::CostModel{});
+  partition::PartitionContext context;
+  context.num_partitions = num_machines;
+  context.num_vertices = edges.num_vertices();
+  context.num_loaders = num_machines;
+  context.seed = seed;
+  partition::IngestResult ingest = partition::IngestWithStrategy(
+      edges, partition::StrategyKind::kRandom, context, cluster);
+
+  VertexCutAnalysis analysis;
+  analysis.num_machines = num_machines;
+  analysis.load_imbalance = ingest.graph.EdgeBalanceRatio();
+  analysis.replication_factor = ingest.report.replication_factor;
+  uint64_t messages = 0;
+  for (graph::VertexId v = 0; v < edges.num_vertices(); ++v) {
+    if (!ingest.graph.present[v]) continue;
+    // PowerGraph per superstep: (replicas-1) partial aggregates in plus
+    // (replicas-1) state syncs out (§5.4.1).
+    messages += 2ull * (ingest.graph.replicas.Count(v) - 1);
+  }
+  analysis.messages_per_superstep = messages;
+  return analysis;
+}
+
+}  // namespace gdp::engine

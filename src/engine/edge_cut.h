@@ -1,0 +1,63 @@
+#ifndef GDP_ENGINE_EDGE_CUT_H_
+#define GDP_ENGINE_EDGE_CUT_H_
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+
+namespace gdp::engine {
+
+/// Edge-cut placement analysis (§3.2 background). The paper's systems all
+/// use vertex-cuts, but the chapter motivates them by contrast with the
+/// edge-cut approach of GraphLab/Pregel/LFGraph: vertices are assigned to
+/// machines (here by hash) and edges may span machines. This analyzer
+/// computes the two quantities §3.2's argument rests on:
+///
+/// - communication: one message per cut edge per superstep (both
+///   directions for undirected gathers);
+/// - load balance: a machine's compute work is the total degree of its
+///   vertices, so one high-degree vertex cannot be split — the hub's
+///   machine becomes the straggler on power-law graphs.
+///
+/// See bench_background_cuts for the comparison against vertex-cuts that
+/// reproduces the §3.2 claims.
+struct EdgeCutAnalysis {
+  uint32_t num_machines = 0;
+  uint64_t cut_edges = 0;        ///< edges whose endpoints differ in machine
+  double cut_fraction = 0;       ///< cut_edges / edges
+  /// Max over machines of (degree mass on machine) / (mean degree mass):
+  /// the straggler factor of a superstep that touches every edge.
+  double load_imbalance = 0;
+  /// Messages per full superstep (one per cut edge per direction).
+  uint64_t messages_per_superstep = 0;
+};
+
+/// Assigns vertices to machines and analyzes the resulting edge-cut.
+/// `range_placement` selects contiguous vertex-id ranges instead of
+/// hashing — the locality-aware placement real edge-cut systems pair with
+/// graphs whose ids carry structure (GraphLab with Metis-style partitions;
+/// road networks emitted row-major). Hash placement models the
+/// no-preprocessing default.
+EdgeCutAnalysis AnalyzeEdgeCut(const graph::EdgeList& edges,
+                               uint32_t num_machines, uint64_t seed = 0,
+                               bool range_placement = false);
+
+/// The matching quantities for a vertex-cut placement (for the §3.2
+/// comparison): load imbalance is the edge-count imbalance across
+/// machines, and communication is the per-superstep mirror/master message
+/// count 2 * sum_v(replicas(v) - 1) of the PowerGraph discipline.
+struct VertexCutAnalysis {
+  uint32_t num_machines = 0;
+  double load_imbalance = 0;
+  uint64_t messages_per_superstep = 0;
+  double replication_factor = 0;
+};
+
+/// Analyzes a canonical-random vertex-cut of the same graph.
+VertexCutAnalysis AnalyzeRandomVertexCut(const graph::EdgeList& edges,
+                                         uint32_t num_machines,
+                                         uint64_t seed = 0);
+
+}  // namespace gdp::engine
+
+#endif  // GDP_ENGINE_EDGE_CUT_H_

@@ -1,0 +1,84 @@
+#ifndef GDP_ENGINE_GAS_APP_H_
+#define GDP_ENGINE_GAS_APP_H_
+
+#include <concepts>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gdp::engine {
+
+/// Which adjacent edges a minor-step touches, relative to the center vertex.
+enum class EdgeDirection { kNone, kIn, kOut, kBoth };
+
+/// True when `direction` includes the in-edges of the center vertex.
+constexpr bool IncludesIn(EdgeDirection direction) {
+  return direction == EdgeDirection::kIn || direction == EdgeDirection::kBoth;
+}
+constexpr bool IncludesOut(EdgeDirection direction) {
+  return direction == EdgeDirection::kOut ||
+         direction == EdgeDirection::kBoth;
+}
+
+/// Per-graph context handed to applications (degree lookups for PageRank's
+/// normalization etc.).
+struct AppContext {
+  const std::vector<uint64_t>* out_degree = nullptr;
+  const std::vector<uint64_t>* in_degree = nullptr;
+
+  uint64_t OutDegree(graph::VertexId v) const { return (*out_degree)[v]; }
+  uint64_t InDegree(graph::VertexId v) const { return (*in_degree)[v]; }
+  uint64_t TotalDegree(graph::VertexId v) const {
+    return (*out_degree)[v] + (*in_degree)[v];
+  }
+};
+
+/// GAS vertex-program contract (duck-typed; see concept below). An
+/// application provides:
+///
+///   using State  — per-vertex state;
+///   using Gather — the commutative-associative aggregate;
+///   static constexpr EdgeDirection kGatherDir / kScatterDir;
+///   static constexpr bool kBootstrapScatter — run a scatter-only step from
+///       the initially active set before the first gather (message-driven
+///       apps like SSSP need their source to announce itself);
+///   State InitState(v, ctx)            — initial vertex state;
+///   bool InitiallyActive(v)            — initial active set;
+///   Gather GatherInit()                — aggregate identity;
+///   void GatherEdge(center, nbr, nbr_state, ctx, &acc)
+///       — fold one adjacent edge into the accumulator;
+///   bool Apply(v, acc, has_gather, ctx, &state)
+///       — update state; returns whether to signal scatter-neighbors.
+///
+/// A *natural* application (the paper's §6.1 term) gathers in exactly one
+/// direction and scatters in the other; PowerLyra's hybrid engine exploits
+/// this.
+template <typename App>
+concept GasApplication = requires(App app, graph::VertexId v,
+                                  typename App::State state,
+                                  typename App::Gather acc, AppContext ctx) {
+  { App::kGatherDir } -> std::convertible_to<EdgeDirection>;
+  { App::kScatterDir } -> std::convertible_to<EdgeDirection>;
+  { App::kBootstrapScatter } -> std::convertible_to<bool>;
+  { app.InitState(v, ctx) } -> std::same_as<typename App::State>;
+  { app.InitiallyActive(v) } -> std::same_as<bool>;
+  { app.GatherInit() } -> std::same_as<typename App::Gather>;
+  { app.GatherEdge(v, v, state, ctx, &acc) } -> std::same_as<void>;
+  { app.Apply(v, acc, true, ctx, &state) } -> std::same_as<bool>;
+};
+
+/// True when the application gathers from one direction and scatters to the
+/// other — the condition under which PowerLyra's hybrid engine can do local
+/// gathers for low-degree vertices.
+template <typename App>
+constexpr bool IsNaturalApp() {
+  return (App::kGatherDir == EdgeDirection::kIn &&
+          App::kScatterDir == EdgeDirection::kOut) ||
+         (App::kGatherDir == EdgeDirection::kOut &&
+          App::kScatterDir == EdgeDirection::kIn);
+}
+
+}  // namespace gdp::engine
+
+#endif  // GDP_ENGINE_GAS_APP_H_

@@ -1,0 +1,34 @@
+#include "engine/gas_engine.h"
+
+namespace gdp::engine::internal {
+
+MachineMasks MachineMasks::Build(const partition::DistributedGraph& dg) {
+  MachineMasks masks;
+  const graph::VertexId n = dg.num_vertices;
+  masks.replicas.assign(n, 0);
+  masks.in_edges.assign(n, 0);
+  masks.out_edges.assign(n, 0);
+  masks.master_machine.assign(n, 0);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (!dg.present[v]) continue;
+    uint64_t replica_mask = 0;
+    dg.replicas.ForEach(v, [&](sim::MachineId p) {
+      replica_mask |= 1ULL << (p % dg.num_machines);
+    });
+    uint64_t in_mask = 0;
+    dg.in_edge_partitions.ForEach(v, [&](sim::MachineId p) {
+      in_mask |= 1ULL << (p % dg.num_machines);
+    });
+    uint64_t out_mask = 0;
+    dg.out_edge_partitions.ForEach(v, [&](sim::MachineId p) {
+      out_mask |= 1ULL << (p % dg.num_machines);
+    });
+    masks.replicas[v] = replica_mask;
+    masks.in_edges[v] = in_mask;
+    masks.out_edges[v] = out_mask;
+    masks.master_machine[v] = dg.master[v] % dg.num_machines;
+  }
+  return masks;
+}
+
+}  // namespace gdp::engine::internal

@@ -1,0 +1,65 @@
+#ifndef GDP_ENGINE_GRAPHX_MEMORY_H_
+#define GDP_ENGINE_GRAPHX_MEMORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "partition/distributed_graph.h"
+
+namespace gdp::engine {
+
+/// Outcome regimes of GraphX under executor-memory pressure (§9.2.4 /
+/// Fig 9.4):
+///  - kFailed: the graph cannot fit on the whole cluster; Spark retries
+///    redistribution several times and then fails the job (the 500 MB point
+///    in Fig 9.4).
+///  - kRedistributed: the graph fits on the cluster but not in the few
+///    executors Spark packs first; after a hard-to-predict number of
+///    out-of-memory retries the evenly-spread attempt succeeds
+///    (600-1200 MB).
+///  - kFastFit: the first, locality-greedy placement succeeds; execution is
+///    fast and gets faster with extra headroom as GC overhead shrinks
+///    (1300 MB onward).
+enum class MemoryOutcome { kFailed, kRedistributed, kFastFit };
+
+const char* MemoryOutcomeName(MemoryOutcome outcome);
+
+struct MemoryPressureOptions {
+  /// Per-executor memory (the swept "executor-memory" Spark parameter).
+  uint64_t executor_memory_bytes = 1u << 30;
+  uint32_t num_executors = 9;
+  /// Executors Spark initially packs partitions onto for locality.
+  uint32_t initial_executors = 2;
+  /// Fraction of executor memory usable for cached graph data (Spark's
+  /// storage fraction).
+  double usable_fraction = 0.6;
+  /// Baseline (pressure-free) execution seconds of the job being modeled.
+  double base_execution_seconds = 100.0;
+  /// Wall-clock cost of one failed placement attempt.
+  double retry_seconds = 30.0;
+  uint32_t max_attempts = 4;
+  uint64_t seed = 11;
+};
+
+struct MemoryPressureResult {
+  MemoryOutcome outcome = MemoryOutcome::kFastFit;
+  /// Total execution seconds (includes retries); failure still reports the
+  /// time burned before Spark gave up.
+  double execution_seconds = 0;
+  uint32_t placement_attempts = 1;
+  double gc_overhead_fraction = 0;
+  uint64_t graph_bytes = 0;
+};
+
+/// Deterministically simulates GraphX's partition-placement behaviour for a
+/// given per-executor memory budget, reproducing the three regimes of
+/// Fig 9.4. The graph's cached footprint is derived from `dg` (edges +
+/// replicas, same object sizes as the engines use).
+MemoryPressureResult SimulateExecutorMemory(
+    const partition::DistributedGraph& dg,
+    const MemoryPressureOptions& options);
+
+}  // namespace gdp::engine
+
+#endif  // GDP_ENGINE_GRAPHX_MEMORY_H_

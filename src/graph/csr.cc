@@ -1,0 +1,26 @@
+#include "graph/csr.h"
+
+namespace gdp::graph {
+
+Csr Csr::Build(const EdgeList& edges, bool by_source) {
+  Csr csr;
+  VertexId n = edges.num_vertices();
+  csr.offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (const Edge& e : edges.edges()) {
+    VertexId key = by_source ? e.src : e.dst;
+    ++csr.offsets_[key + 1];
+  }
+  for (size_t v = 1; v < csr.offsets_.size(); ++v) {
+    csr.offsets_[v] += csr.offsets_[v - 1];
+  }
+  csr.adjacency_.resize(edges.num_edges());
+  std::vector<uint64_t> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
+  for (const Edge& e : edges.edges()) {
+    VertexId key = by_source ? e.src : e.dst;
+    VertexId other = by_source ? e.dst : e.src;
+    csr.adjacency_[cursor[key]++] = other;
+  }
+  return csr;
+}
+
+}  // namespace gdp::graph

@@ -1,0 +1,64 @@
+#ifndef GDP_GRAPH_CSR_H_
+#define GDP_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace gdp::graph {
+
+/// Compressed-sparse-row adjacency for one direction (out- or in-edges).
+/// Neighbors of v live in adjacency_[offsets_[v] .. offsets_[v+1]).
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Builds out-adjacency when by_source is true; in-adjacency otherwise.
+  static Csr Build(const EdgeList& edges, bool by_source);
+
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  uint64_t num_edges() const { return adjacency_.size(); }
+
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  uint64_t Degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+ private:
+  std::vector<uint64_t> offsets_;
+  std::vector<VertexId> adjacency_;
+};
+
+/// A local (single-machine) graph view with both adjacency directions; used
+/// by reference (non-distributed) application implementations in tests to
+/// validate the distributed engines' results.
+class LocalGraph {
+ public:
+  explicit LocalGraph(const EdgeList& edges)
+      : num_vertices_(edges.num_vertices()),
+        num_edges_(edges.num_edges()),
+        out_(Csr::Build(edges, /*by_source=*/true)),
+        in_(Csr::Build(edges, /*by_source=*/false)) {}
+
+  VertexId num_vertices() const { return num_vertices_; }
+  uint64_t num_edges() const { return num_edges_; }
+  const Csr& out() const { return out_; }
+  const Csr& in() const { return in_; }
+
+ private:
+  VertexId num_vertices_ = 0;
+  uint64_t num_edges_ = 0;
+  Csr out_;
+  Csr in_;
+};
+
+}  // namespace gdp::graph
+
+#endif  // GDP_GRAPH_CSR_H_

@@ -1,0 +1,57 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+
+namespace gdp::graph {
+
+void EdgeList::AddEdge(VertexId src, VertexId dst) {
+  edges_.push_back({src, dst});
+  VertexId hi = std::max(src, dst);
+  if (hi >= num_vertices_) num_vertices_ = hi + 1;
+}
+
+void EdgeList::Deduplicate() {
+  auto key = [](const Edge& e) {
+    return (static_cast<uint64_t>(e.src) << 32) | e.dst;
+  };
+  std::sort(edges_.begin(), edges_.end(),
+            [&](const Edge& a, const Edge& b) { return key(a) < key(b); });
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [](const Edge& e) { return e.src == e.dst; }),
+               edges_.end());
+}
+
+EdgeList EdgeList::Symmetrized() const {
+  EdgeList out(name_ + "-sym", num_vertices_, {});
+  out.edges_.reserve(edges_.size() * 2);
+  for (const Edge& e : edges_) {
+    out.edges_.push_back(e);
+    out.edges_.push_back({e.dst, e.src});
+  }
+  out.Deduplicate();
+  return out;
+}
+
+std::vector<uint64_t> EdgeList::OutDegrees() const {
+  std::vector<uint64_t> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) ++deg[e.src];
+  return deg;
+}
+
+std::vector<uint64_t> EdgeList::InDegrees() const {
+  std::vector<uint64_t> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) ++deg[e.dst];
+  return deg;
+}
+
+std::vector<uint64_t> EdgeList::TotalDegrees() const {
+  std::vector<uint64_t> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) {
+    ++deg[e.src];
+    ++deg[e.dst];
+  }
+  return deg;
+}
+
+}  // namespace gdp::graph

@@ -1,0 +1,54 @@
+#ifndef GDP_GRAPH_EDGE_LIST_H_
+#define GDP_GRAPH_EDGE_LIST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gdp::graph {
+
+/// An in-memory directed edge list, the storage format every dataset in the
+/// paper used ("all the datasets were stored in plain-text edge-list
+/// format"). This is the unit streamed into partitioners.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  EdgeList(std::string name, VertexId num_vertices, std::vector<Edge> edges)
+      : name_(std::move(name)),
+        num_vertices_(num_vertices),
+        edges_(std::move(edges)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  VertexId num_vertices() const { return num_vertices_; }
+  uint64_t num_edges() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::vector<Edge>& mutable_edges() { return edges_; }
+
+  /// Appends an edge, growing num_vertices to cover both endpoints.
+  void AddEdge(VertexId src, VertexId dst);
+
+  /// Removes self loops and exact duplicate directed edges (sorts edges).
+  void Deduplicate();
+
+  /// Returns a copy with every edge (u,v) accompanied by (v,u); used to turn
+  /// a directed graph into its undirected (symmetric) version.
+  EdgeList Symmetrized() const;
+
+  /// Out-degree / in-degree / total-degree arrays of size num_vertices().
+  std::vector<uint64_t> OutDegrees() const;
+  std::vector<uint64_t> InDegrees() const;
+  std::vector<uint64_t> TotalDegrees() const;
+
+ private:
+  std::string name_;
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace gdp::graph
+
+#endif  // GDP_GRAPH_EDGE_LIST_H_

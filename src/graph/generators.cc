@@ -1,0 +1,203 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace gdp::graph {
+
+using util::SplitMix64;
+
+EdgeList GenerateRoadNetwork(const RoadNetworkOptions& options) {
+  SplitMix64 rng(options.seed);
+  const uint32_t w = options.width;
+  const uint32_t h = options.height;
+  GDP_CHECK_GT(w, 1u);
+  GDP_CHECK_GT(h, 1u);
+  VertexId n = static_cast<VertexId>(w) * h;
+  EdgeList out("road-net", n, {});
+
+  auto id = [w](uint32_t x, uint32_t y) {
+    return static_cast<VertexId>(y) * w + x;
+  };
+  auto add_road = [&](VertexId a, VertexId b) {
+    out.AddEdge(a, b);
+    out.AddEdge(b, a);
+  };
+
+  for (uint32_t y = 0; y < h; ++y) {
+    for (uint32_t x = 0; x < w; ++x) {
+      if (x + 1 < w && !rng.NextBool(options.drop_fraction)) {
+        add_road(id(x, y), id(x + 1, y));
+      }
+      if (y + 1 < h && !rng.NextBool(options.drop_fraction)) {
+        add_road(id(x, y), id(x, y + 1));
+      }
+    }
+  }
+  // A sprinkle of long-range shortcuts (highways/bridges) so the graph has
+  // one giant component like real road networks.
+  uint64_t shortcuts = static_cast<uint64_t>(
+      options.shortcut_fraction * static_cast<double>(n));
+  for (uint64_t i = 0; i < shortcuts; ++i) {
+    VertexId a = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId b = static_cast<VertexId>(rng.NextBounded(n));
+    if (a != b) add_road(a, b);
+  }
+  out.Deduplicate();
+  return out;
+}
+
+EdgeList GenerateHeavyTailed(const HeavyTailedOptions& options) {
+  SplitMix64 rng(options.seed);
+  const VertexId n = options.num_vertices;
+  const uint32_t m = options.edges_per_vertex;
+  GDP_CHECK_GT(n, m);
+  GDP_CHECK_GT(m, 0u);
+  EdgeList out("heavy-tailed", n, {});
+
+  // Endpoint pool: each element is a vertex, appearing once per incident
+  // edge; sampling uniformly from the pool is degree-proportional sampling.
+  std::vector<VertexId> pool;
+  pool.reserve(static_cast<size_t>(n) * 2 * m);
+
+  // Seed: a small clique over the first m+1 vertices.
+  for (VertexId u = 0; u <= m; ++u) {
+    for (VertexId v = u + 1; v <= m; ++v) {
+      out.AddEdge(u, v);
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  }
+  for (VertexId v = m + 1; v < n; ++v) {
+    uint32_t out_count = m;
+    if (rng.NextBool(options.burst_fraction)) {
+      out_count = m * (1 + rng.NextBounded(options.burst_multiplier));
+      if (out_count >= v) out_count = m;  // early vertices: too few targets
+    }
+    std::unordered_set<VertexId> chosen;
+    while (chosen.size() < out_count) {
+      VertexId target = pool[rng.NextBounded(pool.size())];
+      if (target != v) chosen.insert(target);
+    }
+    for (VertexId target : chosen) {
+      out.AddEdge(v, target);
+      pool.push_back(v);
+      pool.push_back(target);
+      if (rng.NextBool(options.reciprocal_fraction)) {
+        out.AddEdge(target, v);
+      }
+    }
+  }
+  // Crawled social-network snapshots are not ordered by account creation;
+  // shuffle away the attachment process' temporal locality so streaming
+  // partitioners see the stream order a real dataset would give them.
+  util::Shuffle(out.mutable_edges(), rng);
+  return out;
+}
+
+EdgeList GeneratePowerLawWeb(const PowerLawWebOptions& options) {
+  SplitMix64 rng(options.seed);
+  const VertexId n = options.num_vertices;
+  GDP_CHECK_GT(n, 1u);
+  EdgeList out("powerlaw-web", n, {});
+
+  // Random permutation: rank r (Zipf-hot) maps to vertex perm[r]. Without
+  // this, vertex 0 would always be the biggest hub and hash-partitioning
+  // results would be artificially correlated across seeds.
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  util::Shuffle(perm, rng);
+
+  util::ZipfSampler out_degree_dist(
+      std::min<uint64_t>(options.max_out_degree, n - 1), options.out_alpha);
+  util::ZipfSampler target_dist(n, options.in_alpha);
+
+  for (VertexId v = 0; v < n; ++v) {
+    uint64_t d = out_degree_dist.Sample(rng);
+    for (uint64_t i = 0; i < d; ++i) {
+      VertexId target = perm[target_dist.Sample(rng) - 1];
+      if (target == v) continue;
+      out.AddEdge(v, target);
+    }
+  }
+  out.Deduplicate();
+  return out;
+}
+
+EdgeList GenerateRmat(const RmatOptions& options) {
+  SplitMix64 rng(options.seed);
+  const uint32_t scale = options.scale;
+  GDP_CHECK_LT(scale, 31u);
+  const VertexId n = static_cast<VertexId>(1) << scale;
+  EdgeList out("rmat", n, {});
+  const double a = options.a;
+  const double ab = options.a + options.b;
+  const double abc = ab + options.c;
+  for (uint64_t i = 0; i < options.num_edges; ++i) {
+    VertexId src = 0;
+    VertexId dst = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      double r = rng.NextDouble();
+      if (r < a) {
+        // top-left quadrant: neither bit set
+      } else if (r < ab) {
+        dst |= (1u << bit);
+      } else if (r < abc) {
+        src |= (1u << bit);
+      } else {
+        src |= (1u << bit);
+        dst |= (1u << bit);
+      }
+    }
+    if (src != dst) out.AddEdge(src, dst);
+  }
+  out.Deduplicate();
+  out.set_name("rmat");
+  return out;
+}
+
+EdgeList GenerateBipartite(const BipartiteOptions& options) {
+  SplitMix64 rng(options.seed);
+  GDP_CHECK_GT(options.num_items, 0u);
+  GDP_CHECK_GT(options.num_users, 0u);
+  const VertexId n = options.num_items + options.num_users;
+  EdgeList out("bipartite", n, {});
+  util::ZipfSampler item_dist(options.num_items, options.item_alpha);
+  // Shuffle item popularity ranks, as in GeneratePowerLawWeb.
+  std::vector<VertexId> item_perm(options.num_items);
+  std::iota(item_perm.begin(), item_perm.end(), 0);
+  util::Shuffle(item_perm, rng);
+  for (VertexId u = 0; u < options.num_users; ++u) {
+    VertexId user = options.num_items + u;
+    uint64_t purchases = 1 + rng.NextBounded(2 * options.edges_per_user - 1);
+    for (uint64_t i = 0; i < purchases; ++i) {
+      VertexId item = item_perm[item_dist.Sample(rng) - 1];
+      out.AddEdge(user, item);
+    }
+  }
+  out.Deduplicate();
+  out.set_name("bipartite");
+  return out;
+}
+
+EdgeList GenerateErdosRenyi(const ErdosRenyiOptions& options) {
+  SplitMix64 rng(options.seed);
+  const VertexId n = options.num_vertices;
+  GDP_CHECK_GT(n, 1u);
+  EdgeList out("erdos-renyi", n, {});
+  std::unordered_set<uint64_t> seen;
+  while (seen.size() < options.num_edges) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) out.AddEdge(u, v);
+  }
+  return out;
+}
+
+}  // namespace gdp::graph

@@ -1,0 +1,105 @@
+#ifndef GDP_GRAPH_GENERATORS_H_
+#define GDP_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+
+namespace gdp::graph {
+
+/// Synthetic stand-ins for the paper's datasets (Table 4.2). The paper's
+/// conclusions depend on the *degree-distribution class* of each input, so
+/// each generator is built to land squarely in one class; the Fig 5.8 bench
+/// validates this. Scale is a parameter so tests stay fast while benches run
+/// at larger (but laptop-feasible) sizes.
+
+/// Road-network analog (road-net-CA / road-net-USA): a width x height grid
+/// where each cell connects to its right/down neighbors, with
+/// `drop_fraction` of lattice edges removed and `shortcut_fraction` random
+/// long-range edges added. Symmetric (both directions emitted), max total
+/// degree ~8, enormous diameter.
+struct RoadNetworkOptions {
+  uint32_t width = 100;
+  uint32_t height = 100;
+  double drop_fraction = 0.05;
+  double shortcut_fraction = 0.001;
+  uint64_t seed = 1;
+};
+EdgeList GenerateRoadNetwork(const RoadNetworkOptions& options);
+
+/// Social-network analog (LiveJournal / Twitter): preferential attachment
+/// (Barabási–Albert). Every vertex after the seed clique attaches
+/// `edges_per_vertex` out-edges to degree-proportional targets, so *no*
+/// vertex has total degree below edges_per_vertex: the graph is skewed but
+/// deficient in low-degree vertices — the paper's "heavy-tailed" class.
+struct HeavyTailedOptions {
+  VertexId num_vertices = 10000;
+  uint32_t edges_per_vertex = 8;
+  /// Fraction of vertices that are out-degree "super-posters": they attach
+  /// a large multiple of edges_per_vertex. Real social graphs are skewed
+  /// in BOTH directions; out-hubs are what 1D's source hashing piles onto
+  /// one partition, and what 2D's sqrt(N) bound tames (§7.4, §9.2.2).
+  double burst_fraction = 0.05;
+  uint32_t burst_multiplier = 12;
+  /// Probability that an attachment edge is reciprocated (mutual follows);
+  /// real social graphs have substantial reciprocity, which is what makes
+  /// direction-sensitive hashing (GraphX "Random") strictly worse than
+  /// canonical hashing (§8.2.2).
+  double reciprocal_fraction = 0.3;
+  uint64_t seed = 2;
+};
+EdgeList GenerateHeavyTailed(const HeavyTailedOptions& options);
+
+/// Web-graph analog (UK-web): out-degrees are Zipf(out_alpha) (many pages
+/// with one or two links), and each edge's destination is a Zipf(in_alpha)
+/// draw over a random permutation of vertices (a few hubs attract most
+/// links). Skewed in-degree distribution *with* a large low-degree
+/// population — the paper's "power-law" class.
+struct PowerLawWebOptions {
+  VertexId num_vertices = 10000;
+  double out_alpha = 1.35;
+  double in_alpha = 1.6;
+  uint32_t max_out_degree = 1000;
+  uint64_t seed = 3;
+};
+EdgeList GeneratePowerLawWeb(const PowerLawWebOptions& options);
+
+/// Recursive-matrix (R-MAT) generator, used by ablation benches. Standard
+/// (a, b, c, d) quadrant probabilities; scale = log2(num_vertices).
+struct RmatOptions {
+  uint32_t scale = 14;
+  uint64_t num_edges = 1u << 18;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  uint64_t seed = 4;
+};
+EdgeList GenerateRmat(const RmatOptions& options);
+
+/// Bipartite user-item graph (ratings/purchases), the workload class the
+/// PowerLyra authors later extended their partitioners for (cited in the
+/// paper's §2.2). Edges always go user -> item; item popularity is
+/// Zipf(item_alpha) (a few blockbusters absorb most edges) while user
+/// activity is uniform in [1, 2*edges_per_user). Items occupy ids
+/// [0, num_items), users [num_items, num_items + num_users).
+struct BipartiteOptions {
+  VertexId num_users = 8000;
+  VertexId num_items = 2000;
+  uint32_t edges_per_user = 10;
+  double item_alpha = 1.2;
+  uint64_t seed = 6;
+};
+EdgeList GenerateBipartite(const BipartiteOptions& options);
+
+/// Erdős–Rényi G(n, m) with exactly num_edges distinct directed non-loop
+/// edges; the "no structure" control used in tests.
+struct ErdosRenyiOptions {
+  VertexId num_vertices = 1000;
+  uint64_t num_edges = 5000;
+  uint64_t seed = 5;
+};
+EdgeList GenerateErdosRenyi(const ErdosRenyiOptions& options);
+
+}  // namespace gdp::graph
+
+#endif  // GDP_GRAPH_GENERATORS_H_

@@ -1,0 +1,67 @@
+#ifndef GDP_GRAPH_GRAPH_STATS_H_
+#define GDP_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "graph/edge_list.h"
+#include "util/stats.h"
+
+namespace gdp::graph {
+
+/// Degree-distribution class of a graph, following the taxonomy the paper's
+/// Table 4.2 uses for its datasets ("Low-Degree", "Heavy-Tailed",
+/// "Power-Law"). The distinction between heavy-tailed and power-law follows
+/// §5.4.2 / Fig 5.8: both are skewed, but heavy-tailed graphs (Twitter,
+/// LiveJournal) have *fewer low-degree vertices than their power-law
+/// regression line predicts*, while power-law graphs (UK-web) do not.
+enum class GraphClass {
+  kLowDegree,    ///< road networks: small max degree, large diameter
+  kHeavyTailed,  ///< social networks: skewed, deficient in low-degree nodes
+  kPowerLaw,     ///< web graphs: skewed with a large low-degree population
+};
+
+/// Human-readable name for a GraphClass.
+const char* GraphClassName(GraphClass cls);
+
+/// Summary statistics of a graph's degree structure, computed in one pass
+/// over the edge list. Feeds the advisor's decision trees and the Fig 5.8
+/// degree-distribution benchmark.
+struct GraphStats {
+  std::string name;
+  VertexId num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint64_t max_in_degree = 0;
+  uint64_t max_out_degree = 0;
+  uint64_t max_total_degree = 0;
+  double mean_total_degree = 0;
+  /// Fraction of vertices with total degree <= 2.
+  double low_degree_fraction = 0;
+  /// Estimated power-law exponent alpha from the in-degree histogram
+  /// (count ~ degree^-alpha on log-log scale).
+  double power_law_alpha = 0;
+  /// R^2 of the log-log fit; higher = closer to a pure power law.
+  double power_law_r2 = 0;
+  /// Ratio of observed degree<=2 vertex count to the count predicted by the
+  /// power-law fit. < 1 means the graph is deficient in low-degree vertices
+  /// (heavy-tailed, like Twitter); >= 1 means power-law-like (UK-web).
+  double low_degree_residual = 0;
+  /// In-degree histogram (degree -> vertex count), for Fig 5.8.
+  std::map<uint64_t, uint64_t> in_degree_histogram;
+
+  GraphClass classified = GraphClass::kLowDegree;
+};
+
+/// Computes GraphStats, including the classification.
+GraphStats ComputeGraphStats(const EdgeList& edges);
+
+/// Classification rule only (exposed for tests): a graph is low-degree when
+/// its max total degree is small in absolute terms and relative to the mean;
+/// otherwise it is heavy-tailed or power-law according to the low-degree
+/// residual against the fitted power law.
+GraphClass ClassifyGraph(const GraphStats& stats);
+
+}  // namespace gdp::graph
+
+#endif  // GDP_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,28 @@
+#ifndef GDP_GRAPH_TYPES_H_
+#define GDP_GRAPH_TYPES_H_
+
+#include <cstdint>
+
+namespace gdp::graph {
+
+/// Vertex identifier. 32 bits covers every graph this simulator targets
+/// (tens of millions of vertices) at half the edge-list footprint of 64-bit
+/// ids. Counters derived from edges are always 64-bit (the paper itself
+/// reports an overflow bug in PowerLyra's Hybrid-Ginger when an edge count
+/// was kept in a 32-bit integer; we do not repeat it).
+using VertexId = uint32_t;
+
+/// Invalid/absent vertex sentinel.
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+/// A directed edge u -> v.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace gdp::graph
+
+#endif  // GDP_GRAPH_TYPES_H_

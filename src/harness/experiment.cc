@@ -1,0 +1,250 @@
+#include "harness/experiment.h"
+
+#include "apps/coloring.h"
+#include "apps/kcore.h"
+#include "apps/label_propagation.h"
+#include "apps/msbfs.h"
+#include "apps/pagerank.h"
+#include "apps/sssp.h"
+#include "apps/triangle_count.h"
+#include "apps/wcc.h"
+#include "engine/async_coloring.h"
+#include "util/logging.h"
+
+namespace gdp::harness {
+
+const char* AppKindName(AppKind app) {
+  switch (app) {
+    case AppKind::kPageRankFixed:
+      return "PageRank(10)";
+    case AppKind::kPageRankConvergent:
+      return "PageRank(C)";
+    case AppKind::kWcc:
+      return "WCC";
+    case AppKind::kSssp:
+      return "SSSP";
+    case AppKind::kSsspDirected:
+      return "SSSP(dir)";
+    case AppKind::kKCore:
+      return "K-Core";
+    case AppKind::kColoring:
+      return "Coloring";
+    case AppKind::kTriangles:
+      return "Triangles";
+    case AppKind::kLabelPropagation:
+      return "LabelProp";
+    case AppKind::kMsBfs:
+      return "MS-BFS";
+  }
+  return "?";
+}
+
+bool IsNaturalApp(AppKind app) {
+  switch (app) {
+    case AppKind::kPageRankFixed:
+    case AppKind::kPageRankConvergent:
+    case AppKind::kSsspDirected:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+partition::IngestOptions IngestOptionsFor(const ExperimentSpec& spec,
+                                          sim::Timeline* timeline) {
+  partition::IngestOptions options;
+  options.num_loaders = spec.num_loaders;
+  options.seed = spec.seed ^ 0x51ed2701;
+  options.timeline = timeline;
+  switch (spec.engine) {
+    case engine::EngineKind::kPowerGraphSync:
+      options.master_policy = partition::MasterPolicy::kRandomReplica;
+      options.use_partitioner_master_preference = false;
+      break;
+    case engine::EngineKind::kPowerLyraHybrid:
+      // PowerLyra homes every vertex at its hash location; hybrid-aware
+      // strategies refine that via their master preference.
+      options.master_policy = partition::MasterPolicy::kVertexHash;
+      options.use_partitioner_master_preference = true;
+      break;
+    case engine::EngineKind::kGraphXPregel:
+      // GraphX hash-partitions the vertex RDD.
+      options.master_policy = partition::MasterPolicy::kVertexHash;
+      options.use_partitioner_master_preference = false;
+      break;
+  }
+  return options;
+}
+
+engine::RunOptions RunOptionsFor(const ExperimentSpec& spec,
+                                 sim::Timeline* timeline) {
+  engine::RunOptions options;
+  options.max_iterations = spec.max_iterations;
+  options.timeline = timeline;
+  if (spec.engine == engine::EngineKind::kGraphXPregel) {
+    // Dataflow/JVM overhead: GraphX computation is markedly slower per
+    // edge-op than the C++ systems (§7.4 observes compute >> partitioning).
+    options.work_multiplier = 4.0;
+  }
+  return options;
+}
+
+void RunApp(const ExperimentSpec& spec,
+            const partition::DistributedGraph& dg, sim::Cluster& cluster,
+            const engine::RunOptions& run_options, ExperimentResult* out) {
+  switch (spec.app) {
+    case AppKind::kPageRankFixed: {
+      auto r = engine::RunGasEngine(spec.engine, dg, cluster,
+                                    apps::PageRankFixed(), run_options);
+      out->compute = r.stats;
+      break;
+    }
+    case AppKind::kPageRankConvergent: {
+      engine::RunOptions opts = run_options;
+      opts.max_iterations = std::max(opts.max_iterations, 500u);
+      auto r = engine::RunGasEngine(
+          spec.engine, dg, cluster,
+          apps::PageRankConvergent(spec.pagerank_tolerance), opts);
+      out->compute = r.stats;
+      break;
+    }
+    case AppKind::kWcc: {
+      engine::RunOptions opts = run_options;
+      opts.max_iterations = std::max(opts.max_iterations, 1000u);
+      auto r = engine::RunGasEngine(spec.engine, dg, cluster, apps::WccApp{},
+                                    opts);
+      out->compute = r.stats;
+      break;
+    }
+    case AppKind::kSssp: {
+      engine::RunOptions opts = run_options;
+      opts.max_iterations = std::max(opts.max_iterations, 2000u);
+      apps::SsspApp app;
+      app.source = spec.sssp_source;
+      auto r = engine::RunGasEngine(spec.engine, dg, cluster, app, opts);
+      out->compute = r.stats;
+      break;
+    }
+    case AppKind::kSsspDirected: {
+      engine::RunOptions opts = run_options;
+      opts.max_iterations = std::max(opts.max_iterations, 2000u);
+      apps::DirectedSsspApp app;
+      app.source = spec.sssp_source;
+      auto r = engine::RunGasEngine(spec.engine, dg, cluster, app, opts);
+      out->compute = r.stats;
+      break;
+    }
+    case AppKind::kKCore: {
+      engine::RunOptions opts = run_options;
+      opts.max_iterations = std::max(opts.max_iterations, 1000u);
+      apps::KCoreResult r = apps::KCoreDecompose(
+          spec.engine, dg, cluster, spec.kcore_kmin, spec.kcore_kmax, opts);
+      out->compute = r.stats;
+      break;
+    }
+    case AppKind::kColoring: {
+      engine::RunOptions opts = run_options;
+      opts.max_iterations = std::max(opts.max_iterations, 1000u);
+      if (spec.engine == engine::EngineKind::kGraphXPregel) {
+        auto r = engine::RunGasEngine(spec.engine, dg, cluster,
+                                      apps::ColoringApp{}, opts);
+        out->compute = r.stats;
+      } else {
+        // PowerGraph/PowerLyra run Simple Coloring on the async engine
+        // (§5.3).
+        engine::AsyncColoringResult r =
+            engine::RunAsyncColoring(dg, cluster, opts);
+        out->compute = r.stats;
+      }
+      break;
+    }
+    case AppKind::kTriangles: {
+      apps::TriangleCountResult r =
+          apps::CountTriangles(spec.engine, dg, cluster, run_options);
+      out->compute = r.stats;
+      break;
+    }
+    case AppKind::kLabelPropagation: {
+      engine::RunOptions opts = run_options;
+      opts.max_iterations = std::min(opts.max_iterations, 50u);  // may cycle
+      auto r = engine::RunGasEngine(spec.engine, dg, cluster,
+                                    apps::LabelPropagationApp{}, opts);
+      out->compute = r.stats;
+      break;
+    }
+    case AppKind::kMsBfs: {
+      engine::RunOptions opts = run_options;
+      opts.max_iterations = std::max(opts.max_iterations, 2000u);
+      apps::MsBfsApp app;
+      for (graph::VertexId i = 0; i < 64 && i < dg.num_vertices; ++i) {
+        app.sources.push_back(
+            (spec.sssp_source + i * 97) % dg.num_vertices);
+      }
+      auto r = engine::RunGasEngine(spec.engine, dg, cluster, app, opts);
+      out->compute = r.stats;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+ExperimentResult RunExperiment(const graph::EdgeList& edges,
+                               const ExperimentSpec& spec) {
+  GDP_CHECK_GT(spec.num_machines, 0u);
+  sim::Cluster cluster(spec.num_machines, sim::CostModel{});
+  ExperimentResult result;
+  sim::Timeline* timeline = spec.record_timeline ? &result.timeline : nullptr;
+
+  partition::PartitionContext context;
+  context.num_partitions = spec.num_machines * spec.partitions_per_machine;
+  context.num_vertices = edges.num_vertices();
+  context.num_loaders =
+      spec.num_loaders == 0 ? spec.num_machines : spec.num_loaders;
+  context.seed = spec.seed;
+
+  partition::IngestResult ingest = partition::IngestWithStrategy(
+      edges, spec.strategy, context, cluster, IngestOptionsFor(spec, timeline));
+  result.ingress = ingest.report;
+  result.replication_factor = ingest.report.replication_factor;
+  result.edge_balance_ratio = ingest.report.edge_balance_ratio;
+
+  RunApp(spec, ingest.graph, cluster, RunOptionsFor(spec, timeline), &result);
+  if (timeline != nullptr) timeline->Mark(cluster, "compute-end");
+
+  result.total_seconds = cluster.now_seconds();
+  result.mean_peak_memory_bytes = cluster.MeanPeakMemoryBytes();
+  result.max_peak_memory_bytes = cluster.MaxPeakMemoryBytes();
+  result.cpu_utilizations = cluster.CpuUtilizations();
+  return result;
+}
+
+ExperimentResult RunIngressOnly(const graph::EdgeList& edges,
+                                const ExperimentSpec& spec) {
+  GDP_CHECK_GT(spec.num_machines, 0u);
+  sim::Cluster cluster(spec.num_machines, sim::CostModel{});
+  ExperimentResult result;
+  sim::Timeline* timeline = spec.record_timeline ? &result.timeline : nullptr;
+
+  partition::PartitionContext context;
+  context.num_partitions = spec.num_machines * spec.partitions_per_machine;
+  context.num_vertices = edges.num_vertices();
+  context.num_loaders =
+      spec.num_loaders == 0 ? spec.num_machines : spec.num_loaders;
+  context.seed = spec.seed;
+
+  partition::IngestResult ingest = partition::IngestWithStrategy(
+      edges, spec.strategy, context, cluster, IngestOptionsFor(spec, timeline));
+  result.ingress = ingest.report;
+  result.replication_factor = ingest.report.replication_factor;
+  result.edge_balance_ratio = ingest.report.edge_balance_ratio;
+  result.total_seconds = cluster.now_seconds();
+  result.mean_peak_memory_bytes = cluster.MeanPeakMemoryBytes();
+  result.max_peak_memory_bytes = cluster.MaxPeakMemoryBytes();
+  result.cpu_utilizations = cluster.CpuUtilizations();
+  return result;
+}
+
+}  // namespace gdp::harness

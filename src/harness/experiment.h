@@ -1,0 +1,88 @@
+#ifndef GDP_HARNESS_EXPERIMENT_H_
+#define GDP_HARNESS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/gas_engine.h"
+#include "engine/run_stats.h"
+#include "graph/edge_list.h"
+#include "partition/ingest.h"
+#include "sim/timeline.h"
+
+namespace gdp::harness {
+
+/// The applications evaluated in the paper (§3.3), in the configurations
+/// the experiments use.
+enum class AppKind {
+  kPageRankFixed,       ///< PageRank(n): fixed iteration count
+  kPageRankConvergent,  ///< PageRank(C): run to convergence
+  kWcc,
+  kSssp,         ///< undirected (the PowerGraph/PowerLyra configuration)
+  kSsspDirected, ///< directed = natural variant
+  kKCore,        ///< decomposition over [kmin, kmax]
+  kColoring,     ///< Simple Coloring (async engine on PowerGraph/PowerLyra)
+  // Extension workloads beyond the thesis' five:
+  kTriangles,    ///< triangle counting (PowerGraph's flagship)
+  kLabelPropagation,  ///< LPA community detection (iteration-capped)
+  kMsBfs,        ///< 64-source BFS / diameter probing
+};
+
+const char* AppKindName(AppKind app);
+
+/// True for applications that gather from one direction and scatter to the
+/// other (§6.1) as configured here.
+bool IsNaturalApp(AppKind app);
+
+/// One cell of the paper's experiment grid: a system (engine), a
+/// partitioning strategy, a cluster, and an application.
+struct ExperimentSpec {
+  engine::EngineKind engine = engine::EngineKind::kPowerGraphSync;
+  partition::StrategyKind strategy = partition::StrategyKind::kRandom;
+  uint32_t num_machines = 9;
+  /// Edge partitions per machine. PowerGraph/PowerLyra pin one partition
+  /// per machine; GraphX recommends one per core (§7.2).
+  uint32_t partitions_per_machine = 1;
+  AppKind app = AppKind::kPageRankFixed;
+  uint32_t max_iterations = 10;
+  double pagerank_tolerance = 1e-3;
+  graph::VertexId sssp_source = 0;
+  uint32_t kcore_kmin = 10;
+  uint32_t kcore_kmax = 20;
+  uint64_t seed = 42;
+  /// Parallel loaders (0 = one per machine, the paper's setup).
+  uint32_t num_loaders = 0;
+  /// Capture a resource timeline (Fig 6.3).
+  bool record_timeline = false;
+};
+
+/// Everything the paper measures for one run (§4.3).
+struct ExperimentResult {
+  partition::IngressReport ingress;
+  engine::RunStats compute;
+  double total_seconds = 0;
+  double replication_factor = 0;
+  /// Mean and max per-machine peak memory (bytes).
+  double mean_peak_memory_bytes = 0;
+  uint64_t max_peak_memory_bytes = 0;
+  /// Per-machine CPU utilization over the whole run, in [0, 1].
+  std::vector<double> cpu_utilizations;
+  double edge_balance_ratio = 0;
+  sim::Timeline timeline;
+};
+
+/// Runs one experiment cell end to end (ingress + compute) on a fresh
+/// simulated cluster and reports the metrics. Deterministic for a given
+/// spec and edge list.
+ExperimentResult RunExperiment(const graph::EdgeList& edges,
+                               const ExperimentSpec& spec);
+
+/// Partition-only variant (the Figs 5.6/5.7/6.4/6.5/8.1/8.2 grids need no
+/// compute phase).
+ExperimentResult RunIngressOnly(const graph::EdgeList& edges,
+                                const ExperimentSpec& spec);
+
+}  // namespace gdp::harness
+
+#endif  // GDP_HARNESS_EXPERIMENT_H_

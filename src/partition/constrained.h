@@ -1,0 +1,90 @@
+#ifndef GDP_PARTITION_CONSTRAINED_H_
+#define GDP_PARTITION_CONSTRAINED_H_
+
+#include <optional>
+#include <vector>
+
+#include "partition/partitioner.h"
+
+namespace gdp::partition {
+
+/// Grid partitioning (Graphbuilder, §5.2.3): machines form a square matrix;
+/// a vertex's constraint set is the row plus column of the cell it hashes
+/// to, and an edge goes to a cell in the intersection of its endpoints'
+/// constraint sets. Replication factor is bounded by 2*sqrt(N) - 1.
+///
+/// PowerGraph's Grid demands a perfect-square machine count; this class also
+/// implements the thesis' resilient extension (§9.1): build the grid over
+/// the next largest square and fold cells back onto N partitions.
+class GridPartitioner final : public Partitioner {
+ public:
+  explicit GridPartitioner(const PartitionContext& context);
+
+  StrategyKind kind() const override { return StrategyKind::kGrid; }
+  MachineId Assign(const graph::Edge& e, uint32_t pass,
+                   uint32_t loader) override;
+
+  /// True when num_partitions is a perfect square (the only configuration
+  /// PowerGraph's native Grid accepts).
+  bool exact_square() const { return exact_square_; }
+  uint32_t side() const { return side_; }
+
+  /// Constraint set of a vertex (grid cells folded onto partitions),
+  /// exposed for the property tests on the 2*sqrt(N) - 1 bound.
+  std::vector<MachineId> ConstraintSet(graph::VertexId v) const;
+
+ private:
+  uint64_t CellOf(graph::VertexId v) const;
+
+  uint32_t num_partitions_;
+  uint32_t side_;
+  bool exact_square_;
+  uint64_t seed_;
+};
+
+/// PDS partitioning (§5.2.3): constraint sets are translates of a perfect
+/// difference set modulo N = p^2 + p + 1 (p prime). Any two constraint sets
+/// intersect in exactly one machine, giving a replication-factor bound of
+/// p + 1 ~ sqrt(N) — tighter than Grid's 2*sqrt(N) - 1. The paper describes
+/// PDS but could not evaluate it (no machine count satisfied both PDS and
+/// Grid); the simulator has no such constraint, so we include it.
+class PdsPartitioner final : public Partitioner {
+ public:
+  /// Fails unless context.num_partitions == p^2 + p + 1 for a prime p for
+  /// which a difference-set search succeeds.
+  static util::StatusOr<std::unique_ptr<Partitioner>> Create(
+      const PartitionContext& context);
+
+  StrategyKind kind() const override { return StrategyKind::kPds; }
+  MachineId Assign(const graph::Edge& e, uint32_t pass,
+                   uint32_t loader) override;
+
+  const std::vector<uint32_t>& difference_set() const {
+    return difference_set_;
+  }
+
+  /// Constraint set of a vertex, for property tests.
+  std::vector<MachineId> ConstraintSet(graph::VertexId v) const;
+
+  /// Searches for a perfect difference set of size p + 1 modulo
+  /// p^2 + p + 1. Exposed for tests; returns nullopt if the backtracking
+  /// search fails (p not a prime power).
+  static std::optional<std::vector<uint32_t>> FindDifferenceSet(uint32_t p);
+
+  /// True when n == p^2 + p + 1 for some prime p; sets *p_out.
+  static bool IsPdsMachineCount(uint32_t n, uint32_t* p_out);
+
+ private:
+  PdsPartitioner(const PartitionContext& context,
+                 std::vector<uint32_t> difference_set);
+
+  uint32_t num_partitions_;
+  uint64_t seed_;
+  std::vector<uint32_t> difference_set_;
+  /// constraint_sets_[b] = sorted machines of hash-bucket b's translate.
+  std::vector<std::vector<MachineId>> constraint_sets_;
+};
+
+}  // namespace gdp::partition
+
+#endif  // GDP_PARTITION_CONSTRAINED_H_

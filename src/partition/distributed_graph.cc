@@ -1,0 +1,16 @@
+#include "partition/distributed_graph.h"
+
+#include <algorithm>
+
+namespace gdp::partition {
+
+double DistributedGraph::EdgeBalanceRatio() const {
+  if (partition_edge_count.empty() || edges.empty()) return 1.0;
+  uint64_t max_count = *std::max_element(partition_edge_count.begin(),
+                                         partition_edge_count.end());
+  double mean = static_cast<double>(edges.size()) /
+                static_cast<double>(partition_edge_count.size());
+  return mean > 0 ? static_cast<double>(max_count) / mean : 1.0;
+}
+
+}  // namespace gdp::partition

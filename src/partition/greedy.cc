@@ -1,0 +1,206 @@
+#include "partition/greedy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace gdp::partition {
+
+LoaderState::LoaderState(graph::VertexId num_vertices,
+                         uint32_t num_partitions, uint64_t seed,
+                         bool track_degrees)
+    : replicas(num_vertices, num_partitions),
+      machine_load(num_partitions, 0),
+      rng(seed) {
+  if (track_degrees) partial_degree.assign(num_vertices, 0);
+}
+
+uint64_t LoaderState::ApproxBytes() const {
+  // The loader's replica view becomes the machine-local graph structure
+  // after finalization (it is charged there, proportional to replicas);
+  // the *extra* strategy state is just per-touched-vertex bookkeeping:
+  // a mask word, plus a partial-degree counter for HDRF.
+  uint64_t per_vertex = 8 + (partial_degree.empty() ? 0 : 4);
+  return touched_vertices * per_vertex +
+         machine_load.size() * sizeof(uint64_t);
+}
+
+GreedyPartitionerBase::GreedyPartitionerBase(const PartitionContext& context,
+                                             bool track_degrees)
+    : Partitioner(context),
+      num_partitions_(context.num_partitions),
+      num_vertices_(context.num_vertices),
+      seed_(context.seed),
+      track_degrees_(track_degrees) {
+  GDP_CHECK_GE(context.num_loaders, 1u);
+  loaders_.reserve(context.num_loaders);
+  for (uint32_t l = 0; l < context.num_loaders; ++l) {
+    loaders_.emplace_back(num_vertices_, num_partitions_,
+                          util::Mix64(seed_ ^ (l + 1)), track_degrees_);
+  }
+}
+
+uint64_t GreedyPartitionerBase::ApproxStateBytes() const {
+  uint64_t total = 0;
+  for (const LoaderState& s : loaders_) total += s.ApproxBytes();
+  return total;
+}
+
+LoaderState& GreedyPartitionerBase::loader_state(uint32_t loader) {
+  GDP_CHECK_LT(loader, loaders_.size());
+  return loaders_[loader];
+}
+
+void GreedyPartitionerBase::ChargeGreedyWork(LoaderState& state,
+                                             const graph::Edge& e) {
+  uint32_t count_src = state.replicas.Count(e.src);
+  uint32_t count_dst = state.replicas.Count(e.dst);
+  if (count_src == 0) ++state.touched_vertices;
+  if (count_dst == 0 && e.src != e.dst) ++state.touched_vertices;
+  AddWork(2.0 + 1.0 * (count_src + count_dst));
+}
+
+namespace {
+
+/// Least-loaded machine among `candidates`; random tie-break.
+MachineId LeastLoaded(const std::vector<MachineId>& candidates,
+                      const std::vector<uint64_t>& load,
+                      util::SplitMix64& rng) {
+  uint64_t best = std::numeric_limits<uint64_t>::max();
+  uint32_t ties = 0;
+  MachineId chosen = 0;
+  for (MachineId m : candidates) {
+    if (load[m] < best) {
+      best = load[m];
+      chosen = m;
+      ties = 1;
+    } else if (load[m] == best) {
+      // Reservoir-style random tie break.
+      ++ties;
+      if (rng.NextBounded(ties) == 0) chosen = m;
+    }
+  }
+  return chosen;
+}
+
+MachineId LeastLoadedAll(uint32_t num_partitions,
+                         const std::vector<uint64_t>& load,
+                         util::SplitMix64& rng) {
+  uint64_t best = std::numeric_limits<uint64_t>::max();
+  uint32_t ties = 0;
+  MachineId chosen = 0;
+  for (MachineId m = 0; m < num_partitions; ++m) {
+    if (load[m] < best) {
+      best = load[m];
+      chosen = m;
+      ties = 1;
+    } else if (load[m] == best) {
+      ++ties;
+      if (rng.NextBounded(ties) == 0) chosen = m;
+    }
+  }
+  return chosen;
+}
+
+}  // namespace
+
+MachineId ObliviousPartitioner::Assign(const graph::Edge& e, uint32_t pass,
+                                       uint32_t loader) {
+  GDP_CHECK_EQ(pass, 0u);
+  LoaderState& state = loader_state(loader);
+  ChargeGreedyWork(state, e);
+
+  std::vector<MachineId> a_u = state.replicas.Machines(e.src);
+  std::vector<MachineId> a_v = state.replicas.Machines(e.dst);
+  std::vector<MachineId> intersection;
+  std::set_intersection(a_u.begin(), a_u.end(), a_v.begin(), a_v.end(),
+                        std::back_inserter(intersection));
+
+  MachineId target;
+  if (!intersection.empty()) {
+    // Case 1: some machine already hosts both endpoints.
+    target = LeastLoaded(intersection, state.machine_load, state.rng);
+  } else if (a_u.empty() && a_v.empty()) {
+    // Case 3: neither endpoint placed yet — least loaded overall.
+    target = LeastLoadedAll(num_partitions(), state.machine_load, state.rng);
+  } else if (a_v.empty()) {
+    // Case 2: only u placed.
+    target = LeastLoaded(a_u, state.machine_load, state.rng);
+  } else if (a_u.empty()) {
+    // Case 2 (symmetric): only v placed.
+    target = LeastLoaded(a_v, state.machine_load, state.rng);
+  } else {
+    // Case 4: both placed, on disjoint machines — least loaded in the union.
+    std::vector<MachineId> machine_union;
+    std::set_union(a_u.begin(), a_u.end(), a_v.begin(), a_v.end(),
+                   std::back_inserter(machine_union));
+    target = LeastLoaded(machine_union, state.machine_load, state.rng);
+  }
+
+  state.replicas.Add(e.src, target);
+  state.replicas.Add(e.dst, target);
+  ++state.machine_load[target];
+  return target;
+}
+
+MachineId HdrfPartitioner::Assign(const graph::Edge& e, uint32_t pass,
+                                  uint32_t loader) {
+  GDP_CHECK_EQ(pass, 0u);
+  LoaderState& state = loader_state(loader);
+  ChargeGreedyWork(state, e);
+  // HDRF scores every machine per edge (Appendix B), unlike Oblivious
+  // whose candidate set is usually just the endpoint replica sets.
+  AddWork(0.05 * num_partitions());
+
+  double deg_u, deg_v;
+  if (use_partial_degrees_ || exact_degrees_.empty()) {
+    deg_u = static_cast<double>(++state.partial_degree[e.src]);
+    deg_v = static_cast<double>(++state.partial_degree[e.dst]);
+  } else {
+    deg_u = static_cast<double>(exact_degrees_[e.src]);
+    deg_v = static_cast<double>(exact_degrees_[e.dst]);
+  }
+  double theta_u = deg_u / (deg_u + deg_v);
+  double theta_v = 1.0 - theta_u;
+
+  uint64_t max_load = 0;
+  uint64_t min_load = std::numeric_limits<uint64_t>::max();
+  for (MachineId m = 0; m < num_partitions(); ++m) {
+    max_load = std::max(max_load, state.machine_load[m]);
+    min_load = std::min(min_load, state.machine_load[m]);
+  }
+  constexpr double kEpsilon = 1.0;
+
+  double best_score = -std::numeric_limits<double>::infinity();
+  uint32_t ties = 0;
+  MachineId chosen = 0;
+  for (MachineId m = 0; m < num_partitions(); ++m) {
+    // C_REP: reward machines already holding an endpoint, weighted toward
+    // keeping the *low-degree* endpoint unreplicated (Appendix B).
+    double g_u =
+        state.replicas.Contains(e.src, m) ? 1.0 + (1.0 - theta_u) : 0.0;
+    double g_v =
+        state.replicas.Contains(e.dst, m) ? 1.0 + (1.0 - theta_v) : 0.0;
+    double c_rep = g_u + g_v;
+    double c_bal = static_cast<double>(max_load - state.machine_load[m]) /
+                   (kEpsilon + static_cast<double>(max_load - min_load));
+    double score = c_rep + lambda_ * c_bal;
+    if (score > best_score + 1e-12) {
+      best_score = score;
+      chosen = m;
+      ties = 1;
+    } else if (score > best_score - 1e-12) {
+      ++ties;
+      if (state.rng.NextBounded(ties) == 0) chosen = m;
+    }
+  }
+
+  state.replicas.Add(e.src, chosen);
+  state.replicas.Add(e.dst, chosen);
+  ++state.machine_load[chosen];
+  return chosen;
+}
+
+}  // namespace gdp::partition

@@ -1,0 +1,126 @@
+#ifndef GDP_PARTITION_HASH_PARTITIONERS_H_
+#define GDP_PARTITION_HASH_PARTITIONERS_H_
+
+#include <vector>
+
+#include "partition/partitioner.h"
+
+namespace gdp::partition {
+
+/// PowerGraph/PowerLyra "Random" and GraphX "Canonical Random": the hash
+/// ignores edge direction, so (u, v) and (v, u) land together (§5.2.1,
+/// §7.2.1). Stateless, single pass, maximally parallel — and the highest
+/// replication factor of the evaluated strategies.
+class RandomPartitioner final : public Partitioner {
+ public:
+  explicit RandomPartitioner(const PartitionContext& context)
+      : Partitioner(context),
+        num_partitions_(context.num_partitions),
+        seed_(context.seed) {}
+
+  StrategyKind kind() const override { return StrategyKind::kRandom; }
+  MachineId Assign(const graph::Edge& e, uint32_t pass,
+                   uint32_t loader) override;
+
+ private:
+  uint32_t num_partitions_;
+  uint64_t seed_;
+};
+
+/// GraphX "Random": hashes the *directed* pair, so (u, v) and (v, u) may
+/// land apart (§7.2.1, §8.2.2). The thesis shows this is strictly worse
+/// than canonical Random; we keep it to reproduce that finding.
+class AsymmetricRandomPartitioner final : public Partitioner {
+ public:
+  explicit AsymmetricRandomPartitioner(const PartitionContext& context)
+      : Partitioner(context),
+        num_partitions_(context.num_partitions),
+        seed_(context.seed) {}
+
+  StrategyKind kind() const override {
+    return StrategyKind::kAsymmetricRandom;
+  }
+  MachineId Assign(const graph::Edge& e, uint32_t pass,
+                   uint32_t loader) override;
+
+ private:
+  uint32_t num_partitions_;
+  uint64_t seed_;
+};
+
+/// GraphX 1D: hash by source vertex, colocating each vertex's out-edges
+/// (§7.2.2). Equivalent to how Hybrid treats low-degree vertices, but for
+/// *scatter* edges of natural applications.
+class OneDPartitioner final : public Partitioner {
+ public:
+  explicit OneDPartitioner(const PartitionContext& context, bool by_target)
+      : Partitioner(context),
+        num_partitions_(context.num_partitions),
+        seed_(context.seed),
+        by_target_(by_target) {}
+
+  StrategyKind kind() const override {
+    return by_target_ ? StrategyKind::kOneDTarget : StrategyKind::kOneD;
+  }
+  MachineId Assign(const graph::Edge& e, uint32_t pass,
+                   uint32_t loader) override;
+  MachineId PreferredMaster(graph::VertexId v) const override;
+
+ private:
+  uint32_t num_partitions_;
+  uint64_t seed_;
+  bool by_target_;
+};
+
+/// GraphX 2D: machines form an s x s matrix with s = ceil(sqrt(N)); the
+/// column comes from the source hash, the row from the destination hash,
+/// and the cell is folded back onto N partitions (§7.2.3). Bounds the
+/// replication factor by 2*sqrt(N) - 1 and — key for the PowerLyra hybrid
+/// engine result in §8.2.3 — bounds the number of machines holding any
+/// vertex's in-edges (and out-edges) by sqrt(N).
+class TwoDPartitioner final : public Partitioner {
+ public:
+  explicit TwoDPartitioner(const PartitionContext& context);
+
+  StrategyKind kind() const override { return StrategyKind::kTwoD; }
+  MachineId Assign(const graph::Edge& e, uint32_t pass,
+                   uint32_t loader) override;
+
+  uint32_t side() const { return side_; }
+
+ private:
+  uint32_t num_partitions_;
+  uint32_t side_;
+  uint64_t seed_;
+};
+
+/// Degree-Based Hashing (Xie et al., NeurIPS 2014) — an extension beyond
+/// the paper's evaluated set. One-pass and stateless apart from partial
+/// degree counters: each edge is hashed by its *lower-degree* endpoint, so
+/// low-degree vertices keep their edges together while hubs absorb the
+/// replication — HDRF's goal at Random's ingress price. Sits between
+/// Random and HDRF on both quality and cost; see bench_ablation_dbh.
+class DbhPartitioner final : public Partitioner {
+ public:
+  explicit DbhPartitioner(const PartitionContext& context)
+      : Partitioner(context),
+        num_partitions_(context.num_partitions),
+        seed_(context.seed),
+        partial_degree_(context.num_vertices, 0) {}
+
+  StrategyKind kind() const override { return StrategyKind::kDbh; }
+  MachineId Assign(const graph::Edge& e, uint32_t pass,
+                   uint32_t loader) override;
+  uint64_t ApproxStateBytes() const override {
+    return partial_degree_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  uint32_t num_partitions_;
+  uint64_t seed_;
+  std::vector<uint32_t> partial_degree_;
+};
+
+}  // namespace gdp::partition
+
+#endif  // GDP_PARTITION_HASH_PARTITIONERS_H_

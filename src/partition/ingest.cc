@@ -1,0 +1,234 @@
+#include "partition/ingest.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace gdp::partition {
+
+namespace {
+
+/// Per-pass ingress CPU cost of reading/deserializing one edge from the
+/// input block, independent of strategy. Text edge lists cost tens of
+/// simple operations per edge to scan and parse — far more than one hash —
+/// which is why hash and greedy strategies have comparable ingress on
+/// low-degree graphs (Fig 5.7): parsing dominates until replica sets get
+/// large, and why ingress rivals or exceeds compute for short jobs
+/// (Table 5.1, and the LFGraph observation cited in Chapter 1).
+constexpr double kParseWorkPerEdge = 50.0;
+
+}  // namespace
+
+IngestResult Ingest(const graph::EdgeList& edges, Partitioner& partitioner,
+                    sim::Cluster& cluster, const IngestOptions& options) {
+  const uint64_t num_edges = edges.num_edges();
+  const uint32_t num_machines = cluster.num_machines();
+  GDP_CHECK_GT(num_machines, 0u);
+  // Loader count: explicit option first, then the partitioner's configured
+  // loaders (greedy strategies size their per-loader state from it), then
+  // one loader per machine (the paper's setup).
+  uint32_t num_loaders = options.num_loaders;
+  if (num_loaders == 0) num_loaders = partitioner.context().num_loaders;
+  if (num_loaders == 0) num_loaders = num_machines;
+
+  IngestResult result;
+  DistributedGraph& dg = result.graph;
+  // The partitioner was built from a PartitionContext whose num_partitions
+  // we cannot see here; recover it lazily from assignments. To keep the
+  // structure simple we require callers to use IngestWithStrategy or pass a
+  // cluster whose machine count equals the partition count; the partition
+  // count is discovered below as max assigned + 1 is fragile, so we instead
+  // thread it through the replica tables sized at finalize time.
+  dg.num_machines = num_machines;
+  dg.num_vertices = edges.num_vertices();
+  dg.edges = edges.edges();
+  dg.edge_partition.assign(num_edges, 0);
+
+  const sim::ObjectSizes sizes;
+  IngressReport& report = result.report;
+  const double start_time = cluster.now_seconds();
+
+  // Loader l handles the contiguous block [block_start(l), block_start(l+1)).
+  auto block_start = [&](uint32_t l) -> uint64_t {
+    return num_edges * l / num_loaders;
+  };
+
+  uint64_t prev_state_bytes = 0;
+  auto charge_state_delta = [&]() {
+    uint64_t state = partitioner.ApproxStateBytes();
+    report.peak_state_bytes = std::max(report.peak_state_bytes, state);
+    // Spread bookkeeping across loader machines (that is where degree
+    // counters and replica views physically live during ingress).
+    if (state > prev_state_bytes) {
+      uint64_t delta = (state - prev_state_bytes) / num_machines;
+      for (uint32_t m = 0; m < num_machines; ++m) {
+        cluster.machine(m).Allocate(delta);
+      }
+    } else if (state < prev_state_bytes) {
+      uint64_t delta = (prev_state_bytes - state) / num_machines;
+      for (uint32_t m = 0; m < num_machines; ++m) {
+        cluster.machine(m).Free(delta);
+      }
+    }
+    prev_state_bytes = state;
+  };
+
+  const uint32_t passes = partitioner.num_passes();
+  uint32_t max_partition_seen = 0;
+  std::vector<uint64_t> deferred_frees(num_machines, 0);
+  for (uint32_t pass = 0; pass < passes; ++pass) {
+    partitioner.BeginPass(pass);
+    std::fill(deferred_frees.begin(), deferred_frees.end(), 0);
+    for (uint32_t l = 0; l < num_loaders; ++l) {
+      sim::Machine& loader_machine = cluster.machine(l % num_machines);
+      const uint64_t begin = block_start(l);
+      const uint64_t end = block_start(l + 1);
+      for (uint64_t i = begin; i < end; ++i) {
+        const graph::Edge& e = dg.edges[i];
+        MachineId assigned = partitioner.Assign(e, pass, l);
+        loader_machine.AddWork(kParseWorkPerEdge +
+                               partitioner.TakeAssignWork());
+        if (pass == 0) {
+          GDP_CHECK_NE(assigned, kKeepPlacement);
+          max_partition_seen = std::max(max_partition_seen, assigned);
+          dg.edge_partition[i] = assigned;
+          sim::MachineId target = assigned % num_machines;
+          cluster.machine(target).Allocate(sizes.edge_record);
+          if (target != l % num_machines) {
+            loader_machine.ChargePhaseBytes(sizes.edge_record);
+            cluster.machine(target).ReceiveBytes(sizes.edge_record);
+          }
+        } else if (assigned != kKeepPlacement &&
+                   assigned != dg.edge_partition[i]) {
+          // Reassignment: the edge moves between partitions. The copy at
+          // the old machine (and the in-flight transfer buffer) is only
+          // released when the pass completes, so multi-pass strategies pay
+          // a transient memory overhead proportional to the edges they
+          // move — the §6.4.2 effect.
+          max_partition_seen = std::max(max_partition_seen, assigned);
+          sim::MachineId old_machine =
+              dg.edge_partition[i] % num_machines;
+          sim::MachineId new_machine = assigned % num_machines;
+          dg.edge_partition[i] = assigned;
+          ++report.edges_moved;
+          if (old_machine != new_machine) {
+            cluster.machine(old_machine).ChargePhaseBytes(sizes.edge_record);
+            cluster.machine(new_machine).ReceiveBytes(sizes.edge_record);
+            cluster.machine(new_machine).Allocate(sizes.edge_record);
+            deferred_frees[old_machine] += sizes.edge_record;
+          }
+        }
+      }
+    }
+    charge_state_delta();
+    report.pass_seconds.push_back(cluster.EndPhase());
+    if (options.timeline != nullptr) options.timeline->Sample(cluster);
+    // Pass complete: release the moved edges' old copies.
+    for (uint32_t m = 0; m < num_machines; ++m) {
+      cluster.machine(m).Free(deferred_frees[m]);
+    }
+  }
+
+  dg.num_partitions = max_partition_seen + 1;
+  // Hash strategies may never emit the last partition id on tiny inputs;
+  // prefer the loader hint: partitions >= machines always.
+  dg.num_partitions = std::max(dg.num_partitions, num_machines);
+
+  // ---- Finalize: replica tables, masters, per-partition counts. ----------
+  dg.replicas = ReplicaTable(dg.num_vertices, dg.num_partitions);
+  dg.in_edge_partitions = ReplicaTable(dg.num_vertices, dg.num_partitions);
+  dg.out_edge_partitions = ReplicaTable(dg.num_vertices, dg.num_partitions);
+  dg.present.assign(dg.num_vertices, false);
+  dg.partition_edge_count.assign(dg.num_partitions, 0);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    const graph::Edge& e = dg.edges[i];
+    MachineId p = dg.edge_partition[i];
+    dg.replicas.Add(e.src, p);
+    dg.replicas.Add(e.dst, p);
+    dg.out_edge_partitions.Add(e.src, p);
+    dg.in_edge_partitions.Add(e.dst, p);
+    dg.present[e.src] = true;
+    dg.present[e.dst] = true;
+    ++dg.partition_edge_count[p];
+  }
+
+  dg.master.assign(dg.num_vertices, ReplicaTable::kInvalid);
+  uint64_t replica_total = 0;
+  uint64_t present_count = 0;
+  for (graph::VertexId v = 0; v < dg.num_vertices; ++v) {
+    if (!dg.present[v]) continue;
+    ++present_count;
+    MachineId m = ReplicaTable::kInvalid;
+    if (options.use_partitioner_master_preference) {
+      MachineId pref = partitioner.PreferredMaster(v);
+      if (pref != kKeepPlacement) m = pref % dg.num_partitions;
+    }
+    if (m == ReplicaTable::kInvalid) {
+      if (options.master_policy == MasterPolicy::kVertexHash) {
+        m = static_cast<MachineId>(util::Mix64(v ^ options.seed) %
+                                   dg.num_partitions);
+      } else {
+        uint32_t count = dg.replicas.Count(v);
+        m = dg.replicas.Select(
+            v, static_cast<uint32_t>(util::Mix64(v ^ options.seed) % count));
+      }
+    }
+    dg.master[v] = m;
+    dg.replicas.Add(v, m);  // ensure the master location holds a replica
+    replica_total += dg.replicas.Count(v);
+  }
+  dg.num_present_vertices = present_count;
+  dg.replication_factor =
+      present_count > 0
+          ? static_cast<double>(replica_total) / present_count
+          : 0.0;
+
+  // Replica memory: one vertex record per master, one mirror record per
+  // additional replica, charged to the hosting machines.
+  for (graph::VertexId v = 0; v < dg.num_vertices; ++v) {
+    if (!dg.present[v]) continue;
+    for (MachineId p : dg.replicas.Machines(v)) {
+      uint64_t bytes = p == dg.master[v] ? sizes.vertex_record
+                                         : sizes.mirror_record;
+      cluster.machine(dg.MachineOfPartition(p)).Allocate(bytes);
+    }
+  }
+  // Per-vertex finalize work (building routing tables) on the masters.
+  for (uint32_t m = 0; m < num_machines; ++m) {
+    cluster.machine(m).AddWork(
+        static_cast<double>(present_count) / num_machines);
+  }
+  report.pass_seconds.push_back(cluster.EndPhase());
+  if (options.timeline != nullptr) options.timeline->Sample(cluster);
+
+  // Ingress done: the partitioner's transient state is released.
+  if (prev_state_bytes > 0) {
+    uint64_t delta = prev_state_bytes / num_machines;
+    for (uint32_t m = 0; m < num_machines; ++m) {
+      cluster.machine(m).Free(delta);
+    }
+  }
+  if (options.timeline != nullptr) {
+    options.timeline->Sample(cluster);
+    options.timeline->Mark(cluster, "ingress-end");
+  }
+
+  report.ingress_seconds = cluster.now_seconds() - start_time;
+  report.replication_factor = dg.replication_factor;
+  report.edge_balance_ratio = dg.EdgeBalanceRatio();
+  return result;
+}
+
+IngestResult IngestWithStrategy(const graph::EdgeList& edges,
+                                StrategyKind kind,
+                                const PartitionContext& context,
+                                sim::Cluster& cluster,
+                                const IngestOptions& options) {
+  PartitionContext ctx = context;
+  if (ctx.num_vertices == 0) ctx.num_vertices = edges.num_vertices();
+  std::unique_ptr<Partitioner> partitioner = MakePartitioner(kind, ctx);
+  return Ingest(edges, *partitioner, cluster, options);
+}
+
+}  // namespace gdp::partition

@@ -1,0 +1,73 @@
+#ifndef GDP_PARTITION_INGEST_H_
+#define GDP_PARTITION_INGEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "partition/distributed_graph.h"
+#include "partition/partitioner.h"
+#include "sim/cluster.h"
+#include "sim/timeline.h"
+
+namespace gdp::partition {
+
+/// How masters are placed after partitioning.
+enum class MasterPolicy {
+  /// PowerGraph: a hash-random member of the vertex's replica set (§5.1.1).
+  kRandomReplica,
+  /// PowerLyra/GraphX: the vertex's hash location (PowerLyra homes every
+  /// vertex at hash(v); GraphX hash-partitions the vertex RDD). Strategies
+  /// may override per-vertex via Partitioner::PreferredMaster.
+  kVertexHash,
+};
+
+struct IngestOptions {
+  /// Parallel loaders; 0 means one per machine (the paper splits each
+  /// dataset into one block per machine, §5.3).
+  uint32_t num_loaders = 0;
+  MasterPolicy master_policy = MasterPolicy::kRandomReplica;
+  /// Honor Partitioner::PreferredMaster (used with kVertexHash).
+  bool use_partitioner_master_preference = false;
+  uint64_t seed = 0x9d2c5680;
+  /// Optional timeline to sample during ingress (Fig 6.3).
+  sim::Timeline* timeline = nullptr;
+};
+
+/// What the ingress phase cost (paper §4.3 "Ingress time" plus phase
+/// breakdown).
+struct IngressReport {
+  double ingress_seconds = 0;
+  std::vector<double> pass_seconds;
+  uint64_t edges_moved = 0;  ///< reassignment-pass movements
+  double replication_factor = 0;
+  double edge_balance_ratio = 0;
+  uint64_t peak_state_bytes = 0;  ///< partitioner bookkeeping at its largest
+};
+
+struct IngestResult {
+  DistributedGraph graph;
+  IngressReport report;
+};
+
+/// Streams `edges` through `partitioner` (one or more passes), charging the
+/// cluster for ingress CPU, network, and memory, and produces the
+/// DistributedGraph the engines run on.
+///
+/// The edge stream is split into contiguous per-loader blocks; loader l
+/// runs on machine l % num_machines. Greedy strategies therefore see only
+/// their own block's history, matching the systems' distributed ingress.
+IngestResult Ingest(const graph::EdgeList& edges, Partitioner& partitioner,
+                    sim::Cluster& cluster, const IngestOptions& options = {});
+
+/// Convenience: partition `edges` with a fresh partitioner of `kind` using
+/// `context` (num_partitions etc. taken from it) on `cluster`.
+IngestResult IngestWithStrategy(const graph::EdgeList& edges,
+                                StrategyKind kind,
+                                const PartitionContext& context,
+                                sim::Cluster& cluster,
+                                const IngestOptions& options = {});
+
+}  // namespace gdp::partition
+
+#endif  // GDP_PARTITION_INGEST_H_

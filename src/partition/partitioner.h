@@ -1,0 +1,152 @@
+#ifndef GDP_PARTITION_PARTITIONER_H_
+#define GDP_PARTITION_PARTITIONER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "sim/cluster.h"
+#include "util/status.h"
+
+namespace gdp::partition {
+
+using sim::MachineId;
+
+/// Sentinel returned from reassignment passes meaning "keep the placement
+/// from the previous pass".
+inline constexpr MachineId kKeepPlacement = static_cast<MachineId>(-1);
+
+/// Every partitioning strategy evaluated in the paper (Table 1.1 plus the
+/// thesis' own 1D-Target variant and PDS, which the paper describes but
+/// could not run for cluster-size reasons).
+enum class StrategyKind {
+  kRandom,            ///< PowerGraph/PowerLyra Random == GraphX Canonical Random
+  kAsymmetricRandom,  ///< GraphX "Random": direction-sensitive hash
+  kGrid,              ///< constrained: row+column of a machine matrix
+  kPds,               ///< constrained: perfect difference sets (p^2+p+1)
+  kOblivious,         ///< greedy, loader-local state
+  kHdrf,              ///< greedy, degree-aware (High-Degree Replicated First)
+  kHybrid,            ///< PowerLyra: edge-cut low-degree, vertex-cut high-degree
+  kHybridGinger,      ///< Hybrid + Fennel-style low-degree refinement
+  kOneD,              ///< GraphX 1D: hash by source
+  kOneDTarget,        ///< thesis variant: hash by target
+  kTwoD,              ///< GraphX 2D: source column x destination row
+  /// Extension beyond the paper: Gemini-style contiguous vertex ranges
+  /// balanced by edge mass (§2.2 related work). Not part of AllStrategies
+  /// — the paper's experiment grids exclude it; see
+  /// bench_ablation_chunked.
+  kChunked,
+  /// Extension beyond the paper: Degree-Based Hashing (Xie et al. 2014),
+  /// a one-pass degree-aware hash. Not part of AllStrategies; see
+  /// bench_ablation_dbh.
+  kDbh,
+};
+
+/// All strategies, in a stable display order.
+const std::vector<StrategyKind>& AllStrategies();
+
+/// Short display name ("Grid", "HDRF", "H-Ginger", ...).
+const char* StrategyName(StrategyKind kind);
+
+/// Parses a display name back to a kind.
+util::StatusOr<StrategyKind> StrategyFromName(const std::string& name);
+
+/// Strategy sets shipped by each system (paper Table 1.1, minus PDS where
+/// the paper also excluded it — we keep it since the simulator has no
+/// cluster-size constraint).
+std::vector<StrategyKind> PowerGraphStrategies();
+std::vector<StrategyKind> PowerLyraStrategies();
+std::vector<StrategyKind> GraphXStrategies();
+
+/// Configuration handed to every partitioner.
+struct PartitionContext {
+  uint32_t num_partitions = 1;
+  /// Upper bound on vertex ids; needed by degree-tracking strategies.
+  graph::VertexId num_vertices = 0;
+  /// Number of parallel loaders (the paper splits each dataset into one
+  /// block per machine); greedy strategies keep *per-loader* state.
+  uint32_t num_loaders = 1;
+  uint64_t seed = 0;
+  /// Hybrid / Hybrid-Ginger in-degree threshold (PowerLyra default 100).
+  uint64_t hybrid_threshold = 100;
+  /// HDRF balance weight (PowerGraph hardcodes lambda = 1).
+  double hdrf_lambda = 1.0;
+  /// HDRF uses partial degrees when true (the shipped behaviour); exact
+  /// degrees when false (the ablation the HDRF authors discuss).
+  bool hdrf_partial_degrees = true;
+};
+
+/// Streaming edge-partitioner interface. The Ingestor drives one or more
+/// passes over the edge stream; pass 0 must return a machine for every
+/// edge, later (reassignment) passes may return kKeepPlacement.
+///
+/// Contract: Assign is called for every edge of the stream, in stream
+/// order, once per pass; `loader` identifies which parallel loader is
+/// processing the edge (constant for a given edge across passes).
+class Partitioner {
+ public:
+  explicit Partitioner(const PartitionContext& context) : context_(context) {}
+  virtual ~Partitioner() = default;
+
+  const PartitionContext& context() const { return context_; }
+  uint32_t num_partitions() const { return context_.num_partitions; }
+
+  virtual StrategyKind kind() const = 0;
+
+  /// Number of passes over the edge stream (1 for streaming strategies,
+  /// 2 for Hybrid, 3 for Hybrid-Ginger).
+  virtual uint32_t num_passes() const { return 1; }
+
+  /// Notifies the start of a pass.
+  virtual void BeginPass(uint32_t pass) { (void)pass; }
+
+  /// Assigns edge `e` on `pass`; see class contract. Implementations must
+  /// record their per-edge CPU cost with AddWork(); hash strategies charge
+  /// ~1 unit, greedy heuristics charge more (they score each candidate
+  /// machine and probe replica sets), which is what makes their ingress
+  /// slower on skewed graphs (Fig 5.7).
+  virtual MachineId Assign(const graph::Edge& e, uint32_t pass,
+                           uint32_t loader) = 0;
+
+  /// Returns work units accumulated by Assign() calls since the last call,
+  /// and resets the accumulator. Consumed by the Ingestor after each edge
+  /// (or batch) to charge the loading machine.
+  double TakeAssignWork() {
+    double w = work_accumulator_;
+    work_accumulator_ = 0;
+    return w;
+  }
+
+  /// Approximate bytes of partitioner state currently held (degree
+  /// counters, replica bitsets, Ginger's neighbour-count matrix). Charged
+  /// to the cluster as ingress memory; this is what makes Hybrid/H-Ginger
+  /// peak memory land above the replication-factor trend line (Fig 6.2).
+  virtual uint64_t ApproxStateBytes() const { return 0; }
+
+  /// Master placement preference: the machine a vertex's master replica
+  /// should live on, or kKeepPlacement for "engine default" (hash-random
+  /// among replicas). PowerLyra-style strategies use this to colocate
+  /// low-degree masters with their in-edges.
+  virtual MachineId PreferredMaster(graph::VertexId v) const {
+    (void)v;
+    return kKeepPlacement;
+  }
+
+ protected:
+  /// Charges `work` CPU units to the current Assign call.
+  void AddWork(double work) { work_accumulator_ += work; }
+
+ private:
+  PartitionContext context_;
+  double work_accumulator_ = 0;
+};
+
+/// Factory for any strategy.
+std::unique_ptr<Partitioner> MakePartitioner(StrategyKind kind,
+                                             const PartitionContext& context);
+
+}  // namespace gdp::partition
+
+#endif  // GDP_PARTITION_PARTITIONER_H_

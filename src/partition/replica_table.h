@@ -1,0 +1,84 @@
+#ifndef GDP_PARTITION_REPLICA_TABLE_H_
+#define GDP_PARTITION_REPLICA_TABLE_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "sim/cluster.h"
+
+namespace gdp::partition {
+
+/// Dense bitset recording, per vertex, which machines hold a replica of it.
+/// Supports any machine count (words are chained); the paper's clusters are
+/// 9-25 machines, GraphX runs use up to a few hundred partitions.
+class ReplicaTable {
+ public:
+  ReplicaTable() = default;
+  ReplicaTable(graph::VertexId num_vertices, uint32_t num_machines);
+
+  void Reset();
+
+  /// Adds machine m to v's replica set; returns true if newly added.
+  bool Add(graph::VertexId v, sim::MachineId m);
+
+  bool Contains(graph::VertexId v, sim::MachineId m) const;
+
+  /// Number of machines holding v.
+  uint32_t Count(graph::VertexId v) const;
+
+  /// Lowest-indexed machine holding v, or kInvalid when none.
+  sim::MachineId First(graph::VertexId v) const;
+
+  /// All machines holding v, ascending.
+  std::vector<sim::MachineId> Machines(graph::VertexId v) const;
+
+  /// The k-th machine (0-based, ascending order) of v's replica set.
+  /// Precondition: k < Count(v).
+  sim::MachineId Select(graph::VertexId v, uint32_t k) const;
+
+  /// Calls fn(machine) for every machine in v's replica set, ascending.
+  /// Allocation-free; use instead of Machines() in hot loops.
+  template <typename Fn>
+  void ForEach(graph::VertexId v, Fn&& fn) const {
+    size_t base = static_cast<size_t>(v) * words_per_vertex_;
+    for (uint32_t w = 0; w < words_per_vertex_; ++w) {
+      uint64_t word = words_[base + w];
+      while (word != 0) {
+        fn(static_cast<sim::MachineId>(
+            w * 64 + static_cast<uint32_t>(std::countr_zero(word))));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Average replica count over vertices for which `counted` is true (the
+  /// paper's replication factor averages over vertices present in the
+  /// graph).
+  double AverageCount(const std::vector<bool>& counted) const;
+
+  /// Average over all vertices with a non-empty replica set.
+  double AverageCountNonEmpty() const;
+
+  graph::VertexId num_vertices() const { return num_vertices_; }
+  uint32_t num_machines() const { return num_machines_; }
+
+  /// Bytes of backing storage (for memory accounting).
+  uint64_t ApproxBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  static constexpr sim::MachineId kInvalid = static_cast<sim::MachineId>(-1);
+
+ private:
+  uint32_t words_per_vertex() const { return words_per_vertex_; }
+
+  graph::VertexId num_vertices_ = 0;
+  uint32_t num_machines_ = 0;
+  uint32_t words_per_vertex_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace gdp::partition
+
+#endif  // GDP_PARTITION_REPLICA_TABLE_H_

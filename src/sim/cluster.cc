@@ -1,0 +1,84 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+
+namespace gdp::sim {
+
+Cluster::Cluster(uint32_t num_machines, CostModel cost_model)
+    : machines_(num_machines), cost_model_(cost_model) {}
+
+double Cluster::EndPhase() {
+  double slowest = 0;
+  std::vector<double> phase_times(machines_.size());
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    double t = cost_model_.WorkSeconds(machines_[m].phase_work()) +
+               cost_model_.TransferSeconds(machines_[m].phase_bytes());
+    phase_times[m] = t;
+    slowest = std::max(slowest, t);
+  }
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    machines_[m].ClosePhase(phase_times[m]);
+  }
+  double duration = slowest + cost_model_.barrier_latency_seconds;
+  now_seconds_ += duration;
+  return duration;
+}
+
+double Cluster::EndPhaseAsync() {
+  double total = 0;
+  std::vector<double> phase_times(machines_.size());
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    double t = cost_model_.WorkSeconds(machines_[m].phase_work()) +
+               cost_model_.TransferSeconds(machines_[m].phase_bytes());
+    phase_times[m] = t;
+    total += t;
+  }
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    machines_[m].ClosePhase(phase_times[m]);
+  }
+  double duration = machines_.empty()
+                        ? 0.0
+                        : total / static_cast<double>(machines_.size());
+  now_seconds_ += duration;
+  return duration;
+}
+
+uint64_t Cluster::TotalBytesSent() const {
+  uint64_t total = 0;
+  for (const Machine& m : machines_) total += m.bytes_sent();
+  return total;
+}
+
+uint64_t Cluster::TotalMemoryBytes() const {
+  uint64_t total = 0;
+  for (const Machine& m : machines_) total += m.memory_bytes();
+  return total;
+}
+
+uint64_t Cluster::MaxPeakMemoryBytes() const {
+  uint64_t peak = 0;
+  for (const Machine& m : machines_) {
+    peak = std::max(peak, m.peak_memory_bytes());
+  }
+  return peak;
+}
+
+double Cluster::MeanPeakMemoryBytes() const {
+  if (machines_.empty()) return 0;
+  double total = 0;
+  for (const Machine& m : machines_) {
+    total += static_cast<double>(m.peak_memory_bytes());
+  }
+  return total / static_cast<double>(machines_.size());
+}
+
+std::vector<double> Cluster::CpuUtilizations() const {
+  std::vector<double> utils(machines_.size(), 0.0);
+  if (now_seconds_ <= 0) return utils;
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    utils[m] = machines_[m].busy_seconds() / now_seconds_;
+  }
+  return utils;
+}
+
+}  // namespace gdp::sim

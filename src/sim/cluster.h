@@ -1,0 +1,115 @@
+#ifndef GDP_SIM_CLUSTER_H_
+#define GDP_SIM_CLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cost_model.h"
+
+namespace gdp::sim {
+
+/// Identifies a simulated machine (a partition host) within a Cluster.
+using MachineId = uint32_t;
+
+/// Per-machine accounting. The simulator never moves real bytes; engines and
+/// ingestors *charge* machines, and the cost model turns charges into time.
+class Machine {
+ public:
+  /// Network accounting (cumulative over the run).
+  void SendBytes(uint64_t bytes) { bytes_sent_ += bytes; }
+  void ReceiveBytes(uint64_t bytes) { bytes_received_ += bytes; }
+
+  /// Charges `work` abstract compute units to this machine's current phase.
+  void AddWork(double work) { phase_work_ += work; }
+
+  /// Memory accounting with peak tracking.
+  void Allocate(uint64_t bytes) {
+    memory_bytes_ += bytes;
+    if (memory_bytes_ > peak_memory_bytes_) {
+      peak_memory_bytes_ = memory_bytes_;
+    }
+  }
+  void Free(uint64_t bytes) {
+    memory_bytes_ -= bytes < memory_bytes_ ? bytes : memory_bytes_;
+  }
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+  uint64_t memory_bytes() const { return memory_bytes_; }
+  uint64_t peak_memory_bytes() const { return peak_memory_bytes_; }
+  double busy_seconds() const { return busy_seconds_; }
+
+  /// Phase protocol (used by Cluster::EndPhase): work charged since the last
+  /// barrier and bytes sent since the last barrier.
+  double phase_work() const { return phase_work_; }
+  uint64_t phase_bytes() const { return phase_bytes_; }
+  void ChargePhaseBytes(uint64_t bytes) {
+    phase_bytes_ += bytes;
+    SendBytes(bytes);
+  }
+  void ClosePhase(double busy) {
+    busy_seconds_ += busy;
+    phase_work_ = 0;
+    phase_bytes_ = 0;
+  }
+
+ private:
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+  uint64_t memory_bytes_ = 0;
+  uint64_t peak_memory_bytes_ = 0;
+  double busy_seconds_ = 0;
+  double phase_work_ = 0;
+  uint64_t phase_bytes_ = 0;
+};
+
+/// A set of simulated machines plus a simulated clock. Bulk-synchronous
+/// phases are modeled with EndPhase(): each machine's phase time is its
+/// compute time plus its transfer time; the cluster clock advances by the
+/// *maximum* (the barrier), which is how stragglers and load imbalance
+/// manifest, exactly as in the real systems.
+class Cluster {
+ public:
+  Cluster(uint32_t num_machines, CostModel cost_model);
+
+  uint32_t num_machines() const {
+    return static_cast<uint32_t>(machines_.size());
+  }
+  Machine& machine(MachineId m) { return machines_[m]; }
+  const Machine& machine(MachineId m) const { return machines_[m]; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+  /// Simulated wall-clock time elapsed since construction/Reset.
+  double now_seconds() const { return now_seconds_; }
+
+  /// Ends a bulk-synchronous phase: converts each machine's phase charges to
+  /// seconds, advances the clock by the slowest machine plus one barrier
+  /// latency, accumulates busy time, and returns the phase duration.
+  double EndPhase();
+
+  /// Ends an asynchronous round: same accounting, but the clock advances by
+  /// the *mean* machine time (no global barrier; fast machines keep
+  /// working). Used by the asynchronous engine (§5.1.2).
+  double EndPhaseAsync();
+
+  /// Advances the clock without a barrier (e.g., purely local phases).
+  void AdvanceSeconds(double seconds) { now_seconds_ += seconds; }
+
+  /// Aggregates.
+  uint64_t TotalBytesSent() const;
+  uint64_t TotalMemoryBytes() const;
+  uint64_t MaxPeakMemoryBytes() const;
+  double MeanPeakMemoryBytes() const;
+
+  /// Per-machine CPU utilization in [0, 1]: busy seconds / elapsed seconds.
+  std::vector<double> CpuUtilizations() const;
+
+ private:
+  std::vector<Machine> machines_;
+  CostModel cost_model_;
+  double now_seconds_ = 0;
+};
+
+}  // namespace gdp::sim
+
+#endif  // GDP_SIM_CLUSTER_H_

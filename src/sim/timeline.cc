@@ -1,0 +1,55 @@
+#include "sim/timeline.h"
+
+namespace gdp::sim {
+
+void Timeline::Sample(const Cluster& cluster) {
+  TimelineSample s;
+  s.time_seconds = cluster.now_seconds();
+  uint64_t total = 0;
+  uint64_t max_mem = 0;
+  for (uint32_t m = 0; m < cluster.num_machines(); ++m) {
+    uint64_t mem = cluster.machine(m).memory_bytes();
+    total += mem;
+    if (mem > max_mem) max_mem = mem;
+  }
+  s.mean_memory_bytes = cluster.num_machines() > 0
+                            ? static_cast<double>(total) /
+                                  cluster.num_machines()
+                            : 0.0;
+  s.max_memory_bytes = max_mem;
+  s.total_bytes_sent = cluster.TotalBytesSent();
+  samples_.push_back(s);
+}
+
+void Timeline::Mark(const Cluster& cluster, std::string label) {
+  marks_.emplace_back(cluster.now_seconds(), std::move(label));
+}
+
+double Timeline::MarkTime(const std::string& label) const {
+  for (const auto& [time, name] : marks_) {
+    if (name == label) return time;
+  }
+  return -1.0;
+}
+
+double Timeline::PeakMeanMemory() const {
+  double peak = 0;
+  for (const TimelineSample& s : samples_) {
+    if (s.mean_memory_bytes > peak) peak = s.mean_memory_bytes;
+  }
+  return peak;
+}
+
+double Timeline::PeakMeanMemoryTime() const {
+  double peak = 0;
+  double at = 0;
+  for (const TimelineSample& s : samples_) {
+    if (s.mean_memory_bytes > peak) {
+      peak = s.mean_memory_bytes;
+      at = s.time_seconds;
+    }
+  }
+  return at;
+}
+
+}  // namespace gdp::sim

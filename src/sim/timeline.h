@@ -1,0 +1,52 @@
+#ifndef GDP_SIM_TIMELINE_H_
+#define GDP_SIM_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+
+namespace gdp::sim {
+
+/// One resource snapshot, analogous to the paper's psutil samples taken at
+/// one-second intervals on every machine (§4.3).
+struct TimelineSample {
+  double time_seconds = 0;
+  double mean_memory_bytes = 0;
+  uint64_t max_memory_bytes = 0;
+  uint64_t total_bytes_sent = 0;
+};
+
+/// Records resource samples against the simulated clock, plus named phase
+/// marks (e.g., "ingress-end" — the black dots in Fig 6.3). Drivers call
+/// Sample() after each phase; because the simulated clock only moves at
+/// phase boundaries, this is equivalent to 1 Hz sampling up to
+/// interpolation.
+class Timeline {
+ public:
+  void Sample(const Cluster& cluster);
+  void Mark(const Cluster& cluster, std::string label);
+
+  const std::vector<TimelineSample>& samples() const { return samples_; }
+  const std::vector<std::pair<double, std::string>>& marks() const {
+    return marks_;
+  }
+
+  /// Time of the first mark with this label, or -1 when absent.
+  double MarkTime(const std::string& label) const;
+
+  /// Peak of mean_memory_bytes over all samples.
+  double PeakMeanMemory() const;
+
+  /// Time at which the peak of mean memory occurred.
+  double PeakMeanMemoryTime() const;
+
+ private:
+  std::vector<TimelineSample> samples_;
+  std::vector<std::pair<double, std::string>> marks_;
+};
+
+}  // namespace gdp::sim
+
+#endif  // GDP_SIM_TIMELINE_H_

@@ -1,0 +1,36 @@
+#ifndef GDP_UTIL_HASH_H_
+#define GDP_UTIL_HASH_H_
+
+#include <cstdint>
+
+namespace gdp::util {
+
+/// Finalizer from SplitMix64 (Sebastiano Vigna). Bijective 64-bit mix with
+/// strong avalanche behaviour; suitable for hash partitioning of vertex ids.
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two hashes order-dependently (boost::hash_combine flavour, 64-bit).
+constexpr uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 12) +
+                 (seed >> 4));
+}
+
+/// Hash of a directed edge (u, v): (u, v) and (v, u) hash differently.
+constexpr uint64_t HashDirectedEdge(uint64_t u, uint64_t v) {
+  return HashCombine(Mix64(u), v);
+}
+
+/// Hash of an undirected edge: (u, v) and (v, u) hash identically. This is
+/// what PowerGraph "Random" and GraphX "Canonical Random" rely on.
+constexpr uint64_t HashCanonicalEdge(uint64_t u, uint64_t v) {
+  return u <= v ? HashDirectedEdge(u, v) : HashDirectedEdge(v, u);
+}
+
+}  // namespace gdp::util
+
+#endif  // GDP_UTIL_HASH_H_

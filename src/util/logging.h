@@ -1,0 +1,82 @@
+#ifndef GDP_UTIL_LOGGING_H_
+#define GDP_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace gdp::util {
+
+/// Log severities, in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level below which messages are dropped. Defaults to kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with a severity tag) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process after emitting (for CHECK failures).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows a stream expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace gdp::util
+
+#define GDP_LOG(level)                                                \
+  ::gdp::util::internal::LogMessage(::gdp::util::LogLevel::k##level, \
+                                    __FILE__, __LINE__)               \
+      .stream()
+
+/// Invariant check: aborts with message when `cond` is false. Always on —
+/// the simulator's correctness guarantees lean on these.
+#define GDP_CHECK(cond)                                             \
+  (cond) ? (void)0                                                  \
+         : (void)::gdp::util::internal::FatalLogMessage(__FILE__,   \
+                                                        __LINE__,   \
+                                                        #cond)      \
+               .stream()
+
+#define GDP_CHECK_EQ(a, b) GDP_CHECK((a) == (b))
+#define GDP_CHECK_NE(a, b) GDP_CHECK((a) != (b))
+#define GDP_CHECK_LT(a, b) GDP_CHECK((a) < (b))
+#define GDP_CHECK_LE(a, b) GDP_CHECK((a) <= (b))
+#define GDP_CHECK_GT(a, b) GDP_CHECK((a) > (b))
+#define GDP_CHECK_GE(a, b) GDP_CHECK((a) >= (b))
+
+#endif  // GDP_UTIL_LOGGING_H_

@@ -1,0 +1,51 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace gdp::util {
+
+namespace {
+// Generalized harmonic helper: integral form used by rejection-inversion.
+double HIntegral(double x, double alpha) {
+  double log_x = std::log(x);
+  if (std::abs(alpha - 1.0) < 1e-12) return log_x;
+  return std::expm1((1.0 - alpha) * log_x) / (1.0 - alpha);
+}
+
+double HIntegralInverse(double x, double alpha) {
+  if (std::abs(alpha - 1.0) < 1e-12) return std::exp(x);
+  double t = x * (1.0 - alpha);
+  if (t < -1.0) t = -1.0;  // Guard against numeric drift below the pole.
+  return std::exp(std::log1p(t) / (1.0 - alpha));
+}
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+  h_x1_ = HIntegral(1.5, alpha) - 1.0;
+  h_n_ = HIntegral(static_cast<double>(n) + 0.5, alpha);
+  s_ = 2.0 - HIntegralInverse(HIntegral(2.5, alpha) - std::pow(2.0, -alpha),
+                              alpha);
+}
+
+double ZipfSampler::H(double x) const { return HIntegral(x, alpha_); }
+
+double ZipfSampler::HInverse(double x) const {
+  return HIntegralInverse(x, alpha_);
+}
+
+uint64_t ZipfSampler::Sample(SplitMix64& rng) const {
+  if (n_ == 1) return 1;
+  for (;;) {
+    double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= H(kd + 0.5) - std::exp(-alpha_ * std::log(kd))) {
+      return k;
+    }
+  }
+}
+
+}  // namespace gdp::util

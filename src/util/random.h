@@ -1,0 +1,87 @@
+#ifndef GDP_UTIL_RANDOM_H_
+#define GDP_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gdp::util {
+
+/// Deterministic 64-bit PRNG (SplitMix64). Small state, fast, and good enough
+/// statistically for workload generation. All randomness in this project is
+/// seeded explicitly so runs are reproducible bit-for-bit.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's multiply-shift rejection method would be overkill here; the
+    // modulo bias for bound << 2^64 is negligible for simulation purposes,
+    // but we still debias with one-round rejection for exactness.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Samples from a Zipf(alpha) distribution over ranks {1, ..., n} using the
+/// rejection-inversion method of Hörmann & Derflinger. O(1) per sample after
+/// O(1) setup; exact for alpha > 0, alpha != 1 handled via limits.
+class ZipfSampler {
+ public:
+  /// @param n      number of ranks.
+  /// @param alpha  skew exponent (> 0). Larger alpha = more skew.
+  ZipfSampler(uint64_t n, double alpha);
+
+  /// Draws one rank in [1, n].
+  uint64_t Sample(SplitMix64& rng) const;
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double alpha_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+/// Fisher-Yates shuffle of a vector with an explicit RNG.
+template <typename T>
+void Shuffle(std::vector<T>& v, SplitMix64& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::size_t j = rng.NextBounded(i);
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace gdp::util
+
+#endif  // GDP_UTIL_RANDOM_H_

@@ -1,0 +1,100 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gdp::util {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0;
+  double m = Mean(xs);
+  double ss = 0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size()));
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0) return xs.front();
+  if (p >= 100) return xs.back();
+  double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double Min(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+BoxStats ComputeBoxStats(const std::vector<double>& xs) {
+  BoxStats b;
+  b.min = Min(xs);
+  b.p25 = Percentile(xs, 25);
+  b.median = Percentile(xs, 50);
+  b.p75 = Percentile(xs, 75);
+  b.max = Max(xs);
+  return b;
+}
+
+LinearFit FitLine(const std::vector<double>& xs,
+                  const std::vector<double>& ys) {
+  LinearFit fit;
+  size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  double nd = static_cast<double>(n);
+  double denom = nd * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return fit;
+  fit.slope = (nd * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / nd;
+  double mean_y = sy / nd;
+  double ss_tot = 0, ss_res = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double pred = fit.slope * xs[i] + fit.intercept;
+    ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+  }
+  fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+std::map<uint64_t, uint64_t> CountHistogram(const std::vector<uint64_t>& xs) {
+  std::map<uint64_t, uint64_t> hist;
+  for (uint64_t x : xs) ++hist[x];
+  return hist;
+}
+
+LinearFit FitPowerLaw(const std::map<uint64_t, uint64_t>& degree_histogram) {
+  std::vector<double> log_deg;
+  std::vector<double> log_count;
+  for (const auto& [degree, count] : degree_histogram) {
+    if (degree == 0 || count == 0) continue;
+    log_deg.push_back(std::log(static_cast<double>(degree)));
+    log_count.push_back(std::log(static_cast<double>(count)));
+  }
+  return FitLine(log_deg, log_count);
+}
+
+}  // namespace gdp::util

@@ -1,0 +1,50 @@
+#ifndef GDP_UTIL_STATS_H_
+#define GDP_UTIL_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace gdp::util {
+
+/// Arithmetic mean; 0 for an empty range.
+double Mean(const std::vector<double>& xs);
+
+/// Population standard deviation; 0 for fewer than two samples.
+double StdDev(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Copies and sorts.
+double Percentile(std::vector<double> xs, double p);
+
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+
+/// Five-number summary used by the Fig 8.4-style box plots.
+struct BoxStats {
+  double min = 0;
+  double p25 = 0;
+  double median = 0;
+  double p75 = 0;
+  double max = 0;
+};
+BoxStats ComputeBoxStats(const std::vector<double>& xs);
+
+/// Ordinary least squares y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r2 = 0;  ///< coefficient of determination
+};
+LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Histogram over integer values (e.g., vertex degrees): value -> count.
+std::map<uint64_t, uint64_t> CountHistogram(const std::vector<uint64_t>& xs);
+
+/// Fits count ~ C * degree^(-alpha) on a log-log scale over a degree
+/// histogram (degrees >= 1). Returns the fit of log(count) vs log(degree);
+/// -slope estimates the power-law exponent alpha.
+LinearFit FitPowerLaw(const std::map<uint64_t, uint64_t>& degree_histogram);
+
+}  // namespace gdp::util
+
+#endif  // GDP_UTIL_STATS_H_

@@ -1,0 +1,39 @@
+#ifndef GDP_UTIL_TABLE_H_
+#define GDP_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace gdp::util {
+
+/// Accumulates rows and renders them as an aligned ASCII table, a Markdown
+/// table, or CSV. Used by the benchmark harnesses to print the paper's
+/// tables/figure series in a uniform way.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 2);
+
+  std::string ToAscii() const;
+  std::string ToMarkdown() const;
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<size_t> ColumnWidths() const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gdp::util
+
+#endif  // GDP_UTIL_TABLE_H_

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.h"
+
+namespace gdp::advisor {
+namespace {
+
+using graph::GraphClass;
+using partition::StrategyKind;
+
+Workload Make(GraphClass cls, double ratio, uint32_t machines,
+              bool natural = false) {
+  Workload w;
+  w.graph_class = cls;
+  w.compute_ingress_ratio = ratio;
+  w.num_machines = machines;
+  w.natural_application = natural;
+  return w;
+}
+
+TEST(AdvisorTest, PerfectSquares) {
+  EXPECT_TRUE(IsPerfectSquare(9));
+  EXPECT_TRUE(IsPerfectSquare(16));
+  EXPECT_TRUE(IsPerfectSquare(25));
+  EXPECT_TRUE(IsPerfectSquare(1));
+  EXPECT_FALSE(IsPerfectSquare(10));
+  EXPECT_FALSE(IsPerfectSquare(24));
+  EXPECT_FALSE(IsPerfectSquare(26));
+}
+
+// ---------------------------------------------------------------------------
+// Fig 5.9 — PowerGraph
+// ---------------------------------------------------------------------------
+
+TEST(PowerGraphTreeTest, LowDegreeAlwaysHdrfOblivious) {
+  for (double ratio : {0.1, 10.0}) {
+    for (uint32_t machines : {9u, 10u, 25u}) {
+      Recommendation r =
+          RecommendPowerGraph(Make(GraphClass::kLowDegree, ratio, machines));
+      EXPECT_EQ(r.primary(), StrategyKind::kHdrf);
+      EXPECT_EQ(r.strategies[1], StrategyKind::kOblivious);
+    }
+  }
+}
+
+TEST(PowerGraphTreeTest, HeavyTailedSquareClusterGrid) {
+  Recommendation r =
+      RecommendPowerGraph(Make(GraphClass::kHeavyTailed, 1.0, 25));
+  EXPECT_EQ(r.primary(), StrategyKind::kGrid);
+}
+
+TEST(PowerGraphTreeTest, HeavyTailedNonSquareFallsBack) {
+  Recommendation r =
+      RecommendPowerGraph(Make(GraphClass::kHeavyTailed, 1.0, 10));
+  EXPECT_EQ(r.primary(), StrategyKind::kHdrf);
+}
+
+TEST(PowerGraphTreeTest, PowerLawLongJobsHdrf) {
+  Recommendation r = RecommendPowerGraph(Make(GraphClass::kPowerLaw, 5.0, 25));
+  EXPECT_EQ(r.primary(), StrategyKind::kHdrf);
+}
+
+TEST(PowerGraphTreeTest, PowerLawShortJobsGridWhenSquare) {
+  Recommendation r = RecommendPowerGraph(Make(GraphClass::kPowerLaw, 0.5, 25));
+  EXPECT_EQ(r.primary(), StrategyKind::kGrid);
+  Recommendation r2 =
+      RecommendPowerGraph(Make(GraphClass::kPowerLaw, 0.5, 24));
+  EXPECT_EQ(r2.primary(), StrategyKind::kHdrf);
+}
+
+TEST(PowerGraphTreeTest, BoundaryRatioCountsAsShort) {
+  // The tree's test is "Compute/Ingress > 1"; exactly 1 goes the Low path.
+  Recommendation r = RecommendPowerGraph(Make(GraphClass::kPowerLaw, 1.0, 25));
+  EXPECT_EQ(r.primary(), StrategyKind::kGrid);
+}
+
+TEST(PowerGraphTreeTest, NeverRecommendsRandom) {
+  for (auto cls : {GraphClass::kLowDegree, GraphClass::kHeavyTailed,
+                   GraphClass::kPowerLaw}) {
+    for (double ratio : {0.5, 2.0}) {
+      for (uint32_t machines : {9u, 10u}) {
+        Recommendation r = RecommendPowerGraph(Make(cls, ratio, machines));
+        for (StrategyKind s : r.strategies) {
+          EXPECT_NE(s, StrategyKind::kRandom);
+          EXPECT_NE(s, StrategyKind::kAsymmetricRandom);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fig 6.6 — PowerLyra
+// ---------------------------------------------------------------------------
+
+TEST(PowerLyraTreeTest, LowDegreeIgnoresNaturalness) {
+  Recommendation r = RecommendPowerLyra(
+      Make(GraphClass::kLowDegree, 1.0, 9, /*natural=*/true));
+  EXPECT_EQ(r.primary(), StrategyKind::kOblivious);
+}
+
+TEST(PowerLyraTreeTest, NaturalAppsGetHybrid) {
+  for (auto cls : {GraphClass::kHeavyTailed, GraphClass::kPowerLaw}) {
+    Recommendation r = RecommendPowerLyra(Make(cls, 1.0, 9, true));
+    EXPECT_EQ(r.primary(), StrategyKind::kHybrid) << GraphClassName(cls);
+  }
+}
+
+TEST(PowerLyraTreeTest, HeavyTailedNonNaturalMirrorsPowerGraph) {
+  EXPECT_EQ(
+      RecommendPowerLyra(Make(GraphClass::kHeavyTailed, 1.0, 25)).primary(),
+      StrategyKind::kGrid);
+  // Non-square falls back on Hybrid (not HDRF) in PowerLyra's tree.
+  EXPECT_EQ(
+      RecommendPowerLyra(Make(GraphClass::kHeavyTailed, 1.0, 10)).primary(),
+      StrategyKind::kHybrid);
+}
+
+TEST(PowerLyraTreeTest, PowerLawJobLengthSplit) {
+  EXPECT_EQ(RecommendPowerLyra(Make(GraphClass::kPowerLaw, 5.0, 25)).primary(),
+            StrategyKind::kOblivious);
+  EXPECT_EQ(RecommendPowerLyra(Make(GraphClass::kPowerLaw, 0.5, 25)).primary(),
+            StrategyKind::kGrid);
+}
+
+TEST(PowerLyraTreeTest, AllStrategiesVariantWidensToHdrf) {
+  // §8.2.1: the only change with all strategies implemented is
+  // 'Oblivious' -> 'HDRF/Oblivious'.
+  Recommendation base =
+      RecommendPowerLyra(Make(GraphClass::kLowDegree, 1.0, 9), false);
+  Recommendation all =
+      RecommendPowerLyra(Make(GraphClass::kLowDegree, 1.0, 9), true);
+  EXPECT_EQ(base.strategies.size(), 1u);
+  EXPECT_EQ(all.strategies.size(), 2u);
+  EXPECT_EQ(all.primary(), StrategyKind::kHdrf);
+}
+
+TEST(PowerLyraTreeTest, NeverRecommendsHybridGinger) {
+  // §6.4.4: Hybrid-Ginger should generally be avoided.
+  for (auto cls : {GraphClass::kLowDegree, GraphClass::kHeavyTailed,
+                   GraphClass::kPowerLaw}) {
+    for (bool natural : {false, true}) {
+      for (double ratio : {0.5, 2.0}) {
+        Recommendation r = RecommendPowerLyra(Make(cls, ratio, 9, natural));
+        for (StrategyKind s : r.strategies) {
+          EXPECT_NE(s, StrategyKind::kHybridGinger);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// §7.4 and Fig 9.3 — GraphX
+// ---------------------------------------------------------------------------
+
+TEST(GraphXTreeTest, NativeRules) {
+  EXPECT_EQ(RecommendGraphX(Make(GraphClass::kLowDegree, 1.0, 10)).primary(),
+            StrategyKind::kRandom);  // Canonical Random
+  EXPECT_EQ(RecommendGraphX(Make(GraphClass::kPowerLaw, 1.0, 10)).primary(),
+            StrategyKind::kTwoD);
+  EXPECT_EQ(
+      RecommendGraphX(Make(GraphClass::kHeavyTailed, 1.0, 10)).primary(),
+      StrategyKind::kTwoD);
+}
+
+TEST(GraphXTreeTest, AllStrategiesSplitsLowDegreeByJobLength) {
+  EXPECT_EQ(
+      RecommendGraphX(Make(GraphClass::kLowDegree, 0.5, 9), true).primary(),
+      StrategyKind::kRandom);
+  EXPECT_EQ(
+      RecommendGraphX(Make(GraphClass::kLowDegree, 5.0, 9), true).primary(),
+      StrategyKind::kHdrf);
+  // 2D regardless of job length for skewed graphs (§9.2.2).
+  EXPECT_EQ(
+      RecommendGraphX(Make(GraphClass::kPowerLaw, 5.0, 9), true).primary(),
+      StrategyKind::kTwoD);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch + rationale strings
+// ---------------------------------------------------------------------------
+
+TEST(AdvisorTest, DispatchMatchesPerSystemFunctions) {
+  Workload w = Make(GraphClass::kHeavyTailed, 1.0, 25);
+  EXPECT_EQ(Recommend(System::kPowerGraph, w).primary(),
+            RecommendPowerGraph(w).primary());
+  EXPECT_EQ(Recommend(System::kPowerLyra, w).primary(),
+            RecommendPowerLyra(w).primary());
+  EXPECT_EQ(Recommend(System::kGraphX, w).primary(),
+            RecommendGraphX(w).primary());
+}
+
+TEST(AdvisorTest, RationaleIsNonEmptyEverywhere) {
+  for (auto system :
+       {System::kPowerGraph, System::kPowerLyra, System::kGraphX}) {
+    for (auto cls : {GraphClass::kLowDegree, GraphClass::kHeavyTailed,
+                     GraphClass::kPowerLaw}) {
+      for (double ratio : {0.5, 2.0}) {
+        for (uint32_t machines : {9u, 10u}) {
+          for (bool natural : {false, true}) {
+            Recommendation r =
+                Recommend(system, Make(cls, ratio, machines, natural));
+            EXPECT_FALSE(r.strategies.empty());
+            EXPECT_FALSE(r.rationale.empty());
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gdp::advisor

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/coloring.h"
+#include "apps/kcore.h"
+#include "apps/pagerank.h"
+#include "apps/reference.h"
+#include "apps/sssp.h"
+#include "apps/wcc.h"
+#include "engine/async_coloring.h"
+#include "engine/gas_engine.h"
+#include "graph/generators.h"
+#include "partition/ingest.h"
+
+namespace gdp::apps {
+namespace {
+
+using engine::EngineKind;
+using engine::RunOptions;
+using partition::IngestResult;
+using partition::PartitionContext;
+using partition::StrategyKind;
+
+IngestResult Partition(const graph::EdgeList& edges, uint32_t machines,
+                       sim::Cluster& cluster) {
+  PartitionContext context;
+  context.num_partitions = machines;
+  context.num_vertices = edges.num_vertices();
+  context.num_loaders = machines;
+  context.seed = 3;
+  return IngestWithStrategy(edges, StrategyKind::kGrid, context, cluster);
+}
+
+// ---------------------------------------------------------------------------
+// App metadata (naturalness per §6.1)
+// ---------------------------------------------------------------------------
+
+TEST(AppTraitsTest, PageRankIsNatural) {
+  EXPECT_TRUE(engine::IsNaturalApp<PageRankApp>());
+}
+
+TEST(AppTraitsTest, WccAndUndirectedSsspAreNotNatural) {
+  EXPECT_FALSE(engine::IsNaturalApp<WccApp>());
+  EXPECT_FALSE(engine::IsNaturalApp<SsspApp>());
+  EXPECT_FALSE(engine::IsNaturalApp<KCoreApp>());
+  EXPECT_FALSE(engine::IsNaturalApp<ColoringApp>());
+}
+
+TEST(AppTraitsTest, DirectedSsspIsNatural) {
+  EXPECT_TRUE(engine::IsNaturalApp<DirectedSsspApp>());
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementations
+// ---------------------------------------------------------------------------
+
+TEST(ReferenceTest, PageRankSinkAndSourceValues) {
+  // 0 -> 1, no other edges. After any iterations: p(0) = 0.15,
+  // p(1) = 0.15 + 0.85 * p(0).
+  graph::EdgeList edges;
+  edges.AddEdge(0, 1);
+  std::vector<double> pr = ReferencePageRank(edges, 0.85, 20);
+  EXPECT_NEAR(pr[0], 0.15, 1e-12);
+  EXPECT_NEAR(pr[1], 0.15 + 0.85 * 0.15, 1e-12);
+}
+
+TEST(ReferenceTest, PageRankPreservesTotalMassOnCycle) {
+  // On a directed cycle every vertex keeps rank exactly 1.
+  graph::EdgeList edges;
+  for (graph::VertexId v = 0; v < 10; ++v) edges.AddEdge(v, (v + 1) % 10);
+  std::vector<double> pr = ReferencePageRank(edges, 0.85, 50);
+  for (double r : pr) EXPECT_NEAR(r, 1.0, 1e-9);
+}
+
+TEST(ReferenceTest, WccTwoComponents) {
+  graph::EdgeList edges;
+  edges.AddEdge(0, 1);
+  edges.AddEdge(1, 2);
+  edges.AddEdge(5, 4);
+  edges.AddEdge(4, 3);
+  std::vector<graph::VertexId> labels = ReferenceWcc(edges);
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 0u);
+  EXPECT_EQ(labels[2], 0u);
+  EXPECT_EQ(labels[3], 3u);
+  EXPECT_EQ(labels[4], 3u);
+  EXPECT_EQ(labels[5], 3u);
+}
+
+TEST(ReferenceTest, SsspDirectedVsUndirected) {
+  // 0 -> 1 -> 2; directed distance from 2 is unreachable except itself.
+  graph::EdgeList edges;
+  edges.AddEdge(0, 1);
+  edges.AddEdge(1, 2);
+  auto directed = ReferenceSssp(edges, 2, /*directed=*/true);
+  EXPECT_EQ(directed[2], 0u);
+  EXPECT_EQ(directed[0], kInfiniteDistance);
+  auto undirected = ReferenceSssp(edges, 2, /*directed=*/false);
+  EXPECT_EQ(undirected[0], 2u);
+}
+
+TEST(ReferenceTest, KCoreTriangleWithTail) {
+  // Triangle {0,1,2} plus tail 2-3: the 2-core is exactly the triangle.
+  graph::EdgeList edges;
+  edges.AddEdge(0, 1);
+  edges.AddEdge(1, 2);
+  edges.AddEdge(2, 0);
+  edges.AddEdge(2, 3);
+  std::vector<bool> core2 = ReferenceKCore(edges, 2);
+  EXPECT_TRUE(core2[0]);
+  EXPECT_TRUE(core2[1]);
+  EXPECT_TRUE(core2[2]);
+  EXPECT_FALSE(core2[3]);
+  // 3-core is empty (cascading removal).
+  std::vector<bool> core3 = ReferenceKCore(edges, 3);
+  EXPECT_FALSE(core3[0] || core3[1] || core3[2] || core3[3]);
+}
+
+TEST(ReferenceTest, ProperColoringCheck) {
+  graph::EdgeList edges;
+  edges.AddEdge(0, 1);
+  edges.AddEdge(1, 2);
+  EXPECT_TRUE(IsProperColoring(edges, {0, 1, 0}));
+  EXPECT_FALSE(IsProperColoring(edges, {0, 0, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// Distributed K-Core
+// ---------------------------------------------------------------------------
+
+TEST(KCoreTest, DecompositionMatchesReferencePerK) {
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 1200, .edges_per_vertex = 5, .seed = 61});
+  sim::Cluster cluster(4, sim::CostModel{});
+  IngestResult ingest = Partition(edges, 4, cluster);
+  RunOptions options;
+  options.max_iterations = 5000;
+  KCoreResult result = KCoreDecompose(EngineKind::kPowerGraphSync,
+                                      ingest.graph, cluster, 3, 8, options);
+  std::vector<bool> alive(edges.num_vertices(), true);
+  for (uint32_t k = 3; k <= 8; ++k) {
+    alive = ReferenceKCore(edges, k, alive);
+    for (graph::VertexId v = 0; v < edges.num_vertices(); ++v) {
+      if (!ingest.graph.present[v]) continue;
+      bool in_core = result.core_number[v] >= k;
+      ASSERT_EQ(in_core, static_cast<bool>(alive[v]))
+          << "k=" << k << " vertex " << v;
+    }
+  }
+}
+
+TEST(KCoreTest, CoreSizesAreMonotone) {
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 800, .edges_per_vertex = 4, .seed = 62});
+  sim::Cluster cluster(4, sim::CostModel{});
+  IngestResult ingest = Partition(edges, 4, cluster);
+  RunOptions options;
+  options.max_iterations = 5000;
+  KCoreResult result = KCoreDecompose(EngineKind::kPowerGraphSync,
+                                      ingest.graph, cluster, 2, 6, options);
+  for (size_t i = 1; i < result.core_sizes.size(); ++i) {
+    EXPECT_LE(result.core_sizes[i], result.core_sizes[i - 1]);
+  }
+}
+
+TEST(KCoreTest, AggregatesStatsAcrossStages) {
+  graph::EdgeList edges = graph::GenerateErdosRenyi(
+      {.num_vertices = 300, .num_edges = 2000, .seed = 63});
+  sim::Cluster cluster(4, sim::CostModel{});
+  IngestResult ingest = Partition(edges, 4, cluster);
+  RunOptions options;
+  options.max_iterations = 5000;
+  KCoreResult result = KCoreDecompose(EngineKind::kPowerGraphSync,
+                                      ingest.graph, cluster, 2, 5, options);
+  EXPECT_GT(result.stats.iterations, 3u);  // at least one per stage
+  EXPECT_GT(result.stats.compute_seconds, 0.0);
+  // Cumulative time series is nondecreasing across stage boundaries.
+  for (size_t i = 1; i < result.stats.cumulative_seconds.size(); ++i) {
+    EXPECT_LE(result.stats.cumulative_seconds[i - 1],
+              result.stats.cumulative_seconds[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coloring (sync app + async engine)
+// ---------------------------------------------------------------------------
+
+TEST(ColoringTest, SmallestFreeColorHelper) {
+  ColoringApp::Gather acc{{1, 0}, {2, 1}, {3, 3}};
+  EXPECT_EQ(ColoringApp::SmallestFreeColor(acc), 2u);
+  EXPECT_EQ(ColoringApp::SmallestFreeColor({}), 0u);
+  ColoringApp::Gather dense{{1, 0}, {2, 1}, {3, 2}};
+  EXPECT_EQ(ColoringApp::SmallestFreeColor(dense), 3u);
+}
+
+TEST(ColoringTest, SyncEngineProducesProperColoring) {
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 500, .edges_per_vertex = 3, .seed = 64});
+  sim::Cluster cluster(4, sim::CostModel{});
+  IngestResult ingest = Partition(edges, 4, cluster);
+  RunOptions options;
+  options.max_iterations = 2000;
+  auto result = engine::RunGasEngine(EngineKind::kPowerGraphSync,
+                                     ingest.graph, cluster, ColoringApp{},
+                                     options);
+  EXPECT_TRUE(result.stats.converged);
+  EXPECT_TRUE(IsProperColoring(edges, result.states));
+}
+
+TEST(ColoringTest, AsyncEngineProducesProperColoring) {
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 500, .edges_per_vertex = 3, .seed = 65});
+  sim::Cluster cluster(4, sim::CostModel{});
+  IngestResult ingest = Partition(edges, 4, cluster);
+  RunOptions options;
+  options.max_iterations = 2000;
+  engine::AsyncColoringResult result =
+      engine::RunAsyncColoring(ingest.graph, cluster, options);
+  EXPECT_TRUE(result.stats.converged);
+  EXPECT_TRUE(IsProperColoring(edges, result.colors));
+}
+
+TEST(ColoringTest, ColorCountIsReasonable) {
+  // Greedy coloring on a graph with max degree D uses at most D+1 colors.
+  graph::EdgeList edges = graph::GenerateRoadNetwork(
+      {.width = 25, .height = 25, .seed = 66});
+  sim::Cluster cluster(4, sim::CostModel{});
+  IngestResult ingest = Partition(edges, 4, cluster);
+  RunOptions options;
+  options.max_iterations = 2000;
+  engine::AsyncColoringResult result =
+      engine::RunAsyncColoring(ingest.graph, cluster, options);
+  uint32_t max_color =
+      *std::max_element(result.colors.begin(), result.colors.end());
+  auto degrees = edges.TotalDegrees();
+  uint64_t max_degree =
+      *std::max_element(degrees.begin(), degrees.end());
+  EXPECT_LE(max_color, max_degree);
+}
+
+// ---------------------------------------------------------------------------
+// PageRank convergence mode
+// ---------------------------------------------------------------------------
+
+TEST(PageRankTest, ConvergentModeStopsEarly) {
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 1000, .edges_per_vertex = 5, .seed = 67});
+  sim::Cluster cluster(4, sim::CostModel{});
+  IngestResult ingest = Partition(edges, 4, cluster);
+  RunOptions options;
+  options.max_iterations = 500;
+  auto result = engine::RunGasEngine(EngineKind::kPowerGraphSync,
+                                     ingest.graph, cluster,
+                                     PageRankConvergent(1e-3), options);
+  EXPECT_TRUE(result.stats.converged);
+  EXPECT_LT(result.stats.iterations, 500u);
+  EXPECT_GT(result.stats.iterations, 3u);
+}
+
+TEST(PageRankTest, TighterToleranceTakesMoreIterations) {
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 1000, .edges_per_vertex = 5, .seed = 68});
+  auto iterations = [&](double tolerance) {
+    sim::Cluster cluster(4, sim::CostModel{});
+    IngestResult ingest = Partition(edges, 4, cluster);
+    RunOptions options;
+    options.max_iterations = 500;
+    auto result = engine::RunGasEngine(EngineKind::kPowerGraphSync,
+                                       ingest.graph, cluster,
+                                       PageRankConvergent(tolerance),
+                                       options);
+    return result.stats.iterations;
+  };
+  EXPECT_GT(iterations(1e-6), iterations(1e-2));
+}
+
+}  // namespace
+}  // namespace gdp::apps

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "partition/chunked.h"
+#include "partition/ingest.h"
+#include "sim/cluster.h"
+
+namespace gdp::partition {
+namespace {
+
+PartitionContext MakeContext(uint32_t partitions, graph::VertexId vertices) {
+  PartitionContext context;
+  context.num_partitions = partitions;
+  context.num_vertices = vertices;
+  context.num_loaders = 1;
+  context.seed = 5;
+  return context;
+}
+
+TEST(ChunkedTest, RegisteredInFactoryWithName) {
+  EXPECT_STREQ(StrategyName(StrategyKind::kChunked), "Chunked");
+  auto p = MakePartitioner(StrategyKind::kChunked, MakeContext(4, 100));
+  EXPECT_EQ(p->kind(), StrategyKind::kChunked);
+  EXPECT_EQ(p->num_passes(), 2u);
+}
+
+TEST(ChunkedTest, NotPartOfThePaperStrategySet) {
+  for (StrategyKind kind : AllStrategies()) {
+    EXPECT_NE(kind, StrategyKind::kChunked)
+        << "Chunked is an extension, not part of the paper's grid";
+  }
+}
+
+TEST(ChunkedTest, ChunksAreContiguousAndOrdered) {
+  ChunkedPartitioner p(MakeContext(4, 1000));
+  MachineId last = 0;
+  for (graph::VertexId v = 0; v < 1000; ++v) {
+    MachineId c = p.ChunkOf(v);
+    EXPECT_GE(c, last);
+    EXPECT_LT(c, 4u);
+    last = c;
+  }
+}
+
+TEST(ChunkedTest, EdgesFollowSourceChunk) {
+  ChunkedPartitioner p(MakeContext(4, 100));
+  for (graph::VertexId v = 0; v + 1 < 100; ++v) {
+    EXPECT_EQ(p.Assign({v, v + 1}, 0, 0), p.ChunkOf(v));
+  }
+}
+
+TEST(ChunkedTest, SecondPassBalancesEdgeMass) {
+  // Vertex 0 carries almost all edges; after the counting pass the first
+  // chunk must shrink so chunk loads even out.
+  graph::EdgeList star;
+  for (graph::VertexId i = 1; i <= 900; ++i) star.AddEdge(0, i);
+  for (graph::VertexId v = 100; v + 1 < 1000; ++v) star.AddEdge(v, v + 1);
+  sim::Cluster cluster(4, sim::CostModel{});
+  IngestResult r = IngestWithStrategy(star, StrategyKind::kChunked,
+                                      MakeContext(4, 1000), cluster);
+  // Without rebalancing, chunk 0 (vertices 0..249) would hold 900 + 150
+  // of ~1800 edges; with it the max/mean ratio stays moderate.
+  EXPECT_LT(r.graph.EdgeBalanceRatio(), 2.2);
+}
+
+TEST(ChunkedTest, NearPerfectReplicationOnLocalGraphs) {
+  graph::EdgeList road = graph::GenerateRoadNetwork(
+      {.width = 60, .height = 60, .seed = 41});
+  sim::Cluster cluster(9, sim::CostModel{});
+  IngestResult r = IngestWithStrategy(road, StrategyKind::kChunked,
+                                      MakeContext(9, road.num_vertices()),
+                                      cluster);
+  // Row-major lattice ids: almost every neighborhood sits inside one
+  // chunk; only chunk-boundary rows replicate.
+  EXPECT_LT(r.report.replication_factor, 1.3);
+}
+
+TEST(ChunkedTest, PoorReplicationWithoutIdLocality) {
+  graph::EdgeList social = graph::GenerateHeavyTailed(
+      {.num_vertices = 3000, .edges_per_vertex = 6, .seed = 42});
+  sim::Cluster c1(9, sim::CostModel{});
+  sim::Cluster c2(9, sim::CostModel{});
+  double chunked = IngestWithStrategy(social, StrategyKind::kChunked,
+                                      MakeContext(9, social.num_vertices()),
+                                      c1)
+                       .report.replication_factor;
+  double grid = IngestWithStrategy(social, StrategyKind::kGrid,
+                                   MakeContext(9, social.num_vertices()),
+                                   c2)
+                    .report.replication_factor;
+  EXPECT_GT(chunked, grid);
+}
+
+TEST(ChunkedTest, MasterSitsInOwnChunk) {
+  graph::EdgeList road = graph::GenerateRoadNetwork(
+      {.width = 30, .height = 30, .seed = 43});
+  sim::Cluster cluster(4, sim::CostModel{});
+  IngestOptions options;
+  options.master_policy = MasterPolicy::kVertexHash;
+  options.use_partitioner_master_preference = true;
+  IngestResult r = IngestWithStrategy(road, StrategyKind::kChunked,
+                                      MakeContext(4, road.num_vertices()),
+                                      cluster, options);
+  // All of a vertex's out-edges live in its chunk; the master joins them.
+  for (graph::VertexId v = 0; v < road.num_vertices(); ++v) {
+    if (!r.graph.present[v]) continue;
+    if (r.graph.out_edge_partitions.Count(v) > 0) {
+      EXPECT_TRUE(
+          r.graph.out_edge_partitions.Contains(v, r.graph.master[v]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gdp::partition

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "partition/constrained.h"
+
+namespace gdp::partition {
+namespace {
+
+PartitionContext MakeContext(uint32_t partitions, uint64_t seed = 7) {
+  PartitionContext context;
+  context.num_partitions = partitions;
+  context.num_vertices = 10000;
+  context.seed = seed;
+  return context;
+}
+
+// ---------------------------------------------------------------------------
+// Grid
+// ---------------------------------------------------------------------------
+
+TEST(GridTest, DetectsExactSquares) {
+  EXPECT_TRUE(GridPartitioner(MakeContext(9)).exact_square());
+  EXPECT_TRUE(GridPartitioner(MakeContext(25)).exact_square());
+  EXPECT_FALSE(GridPartitioner(MakeContext(10)).exact_square());
+  EXPECT_FALSE(GridPartitioner(MakeContext(7)).exact_square());
+}
+
+TEST(GridTest, AssignmentWithinConstraintIntersection) {
+  GridPartitioner grid(MakeContext(9));
+  for (graph::VertexId u = 0; u < 60; ++u) {
+    for (graph::VertexId v = u + 1; v < 60; ++v) {
+      MachineId m = grid.Assign({u, v}, 0, 0);
+      std::vector<MachineId> su = grid.ConstraintSet(u);
+      std::vector<MachineId> sv = grid.ConstraintSet(v);
+      EXPECT_TRUE(std::find(su.begin(), su.end(), m) != su.end());
+      EXPECT_TRUE(std::find(sv.begin(), sv.end(), m) != sv.end());
+    }
+  }
+}
+
+TEST(GridTest, ConstraintSetSizeIsRowPlusColumn) {
+  GridPartitioner grid(MakeContext(25));
+  for (graph::VertexId v = 0; v < 100; ++v) {
+    // 2*sqrt(N)-1 cells in a row+column cross.
+    EXPECT_EQ(grid.ConstraintSet(v).size(), 9u);
+  }
+}
+
+TEST(GridTest, ReplicationBoundHolds) {
+  // Each vertex's constraint set caps its replication at 2*sqrt(N)-1.
+  GridPartitioner grid(MakeContext(9));
+  for (graph::VertexId v = 0; v < 30; ++v) {
+    std::set<MachineId> used;
+    for (graph::VertexId u = 0; u < 400; ++u) {
+      if (u == v) continue;
+      used.insert(grid.Assign({v, u}, 0, 0));
+      used.insert(grid.Assign({u, v}, 0, 0));
+    }
+    EXPECT_LE(used.size(), 5u);  // 2*3-1
+  }
+}
+
+TEST(GridTest, NonSquareFoldsIntoRange) {
+  GridPartitioner grid(MakeContext(10));
+  std::set<MachineId> seen;
+  for (graph::VertexId u = 0; u < 100; ++u) {
+    MachineId m = grid.Assign({u, u + 1}, 0, 0);
+    EXPECT_LT(m, 10u);
+    seen.insert(m);
+  }
+  EXPECT_GT(seen.size(), 5u);  // uses most of the partitions
+}
+
+TEST(GridTest, CanonicalAcrossDirections) {
+  GridPartitioner grid(MakeContext(16));
+  for (graph::VertexId u = 0; u < 40; ++u) {
+    EXPECT_EQ(grid.Assign({u, u + 7}, 0, 0), grid.Assign({u + 7, u}, 0, 0));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PDS
+// ---------------------------------------------------------------------------
+
+TEST(PdsTest, MachineCountDetection) {
+  uint32_t p = 0;
+  EXPECT_TRUE(PdsPartitioner::IsPdsMachineCount(7, &p));   // p=2
+  EXPECT_EQ(p, 2u);
+  EXPECT_TRUE(PdsPartitioner::IsPdsMachineCount(13, &p));  // p=3
+  EXPECT_EQ(p, 3u);
+  EXPECT_TRUE(PdsPartitioner::IsPdsMachineCount(31, &p));  // p=5
+  EXPECT_TRUE(PdsPartitioner::IsPdsMachineCount(57, &p));  // p=7
+  EXPECT_FALSE(PdsPartitioner::IsPdsMachineCount(9, &p));
+  EXPECT_FALSE(PdsPartitioner::IsPdsMachineCount(25, &p));
+  EXPECT_FALSE(PdsPartitioner::IsPdsMachineCount(21, &p));  // p=4 not prime
+}
+
+TEST(PdsTest, DifferenceSetIsPerfect) {
+  for (uint32_t p : {2u, 3u, 5u, 7u}) {
+    auto set = PdsPartitioner::FindDifferenceSet(p);
+    ASSERT_TRUE(set.has_value()) << "p=" << p;
+    const uint32_t n = p * p + p + 1;
+    EXPECT_EQ(set->size(), p + 1);
+    // Every nonzero residue mod n appears exactly once as a difference.
+    std::vector<int> counts(n, 0);
+    for (uint32_t a : *set) {
+      for (uint32_t b : *set) {
+        if (a != b) ++counts[(n + a - b) % n];
+      }
+    }
+    for (uint32_t r = 1; r < n; ++r) {
+      EXPECT_EQ(counts[r], 1) << "residue " << r << " for p=" << p;
+    }
+  }
+}
+
+TEST(PdsTest, CreateRejectsBadCounts) {
+  EXPECT_FALSE(PdsPartitioner::Create(MakeContext(9)).ok());
+  EXPECT_FALSE(PdsPartitioner::Create(MakeContext(12)).ok());
+  EXPECT_TRUE(PdsPartitioner::Create(MakeContext(7)).ok());
+}
+
+TEST(PdsTest, ConstraintSetsIntersectInExactlyOne) {
+  auto created = PdsPartitioner::Create(MakeContext(13));
+  ASSERT_TRUE(created.ok());
+  auto* pds = static_cast<PdsPartitioner*>(created.value().get());
+  // Property of planar difference sets: distinct translates meet once.
+  for (graph::VertexId u = 0; u < 30; ++u) {
+    for (graph::VertexId v = u + 1; v < 30; ++v) {
+      std::vector<MachineId> su = pds->ConstraintSet(u);
+      std::vector<MachineId> sv = pds->ConstraintSet(v);
+      std::vector<MachineId> common;
+      std::set_intersection(su.begin(), su.end(), sv.begin(), sv.end(),
+                            std::back_inserter(common));
+      if (su == sv) continue;  // same hash bucket
+      EXPECT_EQ(common.size(), 1u);
+    }
+  }
+}
+
+TEST(PdsTest, ReplicationBoundedByPPlusOne) {
+  auto created = PdsPartitioner::Create(MakeContext(13));
+  ASSERT_TRUE(created.ok());
+  Partitioner& pds = *created.value();
+  for (graph::VertexId v = 0; v < 20; ++v) {
+    std::set<MachineId> used;
+    for (graph::VertexId u = 0; u < 300; ++u) {
+      if (u == v) continue;
+      used.insert(pds.Assign({v, u}, 0, 0));
+      used.insert(pds.Assign({u, v}, 0, 0));
+    }
+    EXPECT_LE(used.size(), 4u);  // p + 1 with p = 3
+  }
+}
+
+TEST(PdsTest, TighterThanGridBound) {
+  // PDS's p+1 bound beats Grid's 2*sqrt(N)-1 at comparable N.
+  uint32_t p = 5;
+  uint32_t n = p * p + p + 1;  // 31
+  double grid_bound = 2 * std::ceil(std::sqrt(static_cast<double>(n))) - 1;
+  EXPECT_LT(p + 1, grid_bound);
+}
+
+}  // namespace
+}  // namespace gdp::partition

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "partition/hash_partitioners.h"
+#include "partition/ingest.h"
+
+namespace gdp::partition {
+namespace {
+
+PartitionContext MakeContext(uint32_t partitions, graph::VertexId vertices) {
+  PartitionContext context;
+  context.num_partitions = partitions;
+  context.num_vertices = vertices;
+  context.num_loaders = 1;
+  context.seed = 5;
+  return context;
+}
+
+// ---------------------------------------------------------------------------
+// DBH
+// ---------------------------------------------------------------------------
+
+TEST(DbhTest, RegisteredAndExcludedFromPaperSet) {
+  EXPECT_STREQ(StrategyName(StrategyKind::kDbh), "DBH");
+  auto p = MakePartitioner(StrategyKind::kDbh, MakeContext(4, 100));
+  EXPECT_EQ(p->kind(), StrategyKind::kDbh);
+  EXPECT_EQ(p->num_passes(), 1u);
+  for (StrategyKind kind : AllStrategies()) {
+    EXPECT_NE(kind, StrategyKind::kDbh);
+  }
+}
+
+TEST(DbhTest, HashesByLowerDegreeEndpoint) {
+  DbhPartitioner p(MakeContext(8, 1000));
+  // Build up hub 0's partial degree.
+  for (graph::VertexId leaf = 1; leaf <= 50; ++leaf) {
+    p.Assign({0, leaf}, 0, 0);
+  }
+  // New edges touching the hub hash by the fresh endpoint: two edges from
+  // the same fresh vertex to the hub land together only if the vertex
+  // hash says so — but crucially, a low-degree vertex's edges to TWO
+  // different hubs land on ITS hash, i.e., together.
+  for (graph::VertexId hub2 = 900; hub2 < 902; ++hub2) {
+    for (graph::VertexId leaf = 901 + 50; leaf < 960; ++leaf) {
+      p.Assign({hub2, leaf}, 0, 0);  // grow a second hub
+    }
+  }
+  DbhPartitioner fresh(MakeContext(8, 1000));
+  // Prime both hubs in the fresh instance.
+  for (graph::VertexId leaf = 1; leaf <= 50; ++leaf) {
+    fresh.Assign({0, leaf}, 0, 0);
+    fresh.Assign({990, leaf + 200}, 0, 0);
+  }
+  MachineId a = fresh.Assign({500, 0}, 0, 0);    // 500 is low degree
+  MachineId b = fresh.Assign({500, 990}, 0, 0);  // both hash by 500
+  EXPECT_EQ(a, b);
+}
+
+TEST(DbhTest, StarReplicatesHubNotLeaves) {
+  graph::EdgeList star;
+  for (graph::VertexId i = 1; i <= 600; ++i) star.AddEdge(i, 0);
+  sim::Cluster cluster(8, sim::CostModel{});
+  IngestResult r = IngestWithStrategy(star, StrategyKind::kDbh,
+                                      MakeContext(8, 601), cluster);
+  // Leaves each sit on one machine; the hub spans all 8.
+  EXPECT_EQ(r.graph.replicas.Count(0), 8u);
+  double rf = r.report.replication_factor;
+  EXPECT_LT(rf, 1.1);  // 600 leaves at 1 + one hub at 8
+}
+
+TEST(DbhTest, BeatsRandomOnSkewedGraphs) {
+  graph::EdgeList web = graph::GeneratePowerLawWeb(
+      {.num_vertices = 6000, .seed = 51});
+  sim::Cluster c1(9, sim::CostModel{});
+  sim::Cluster c2(9, sim::CostModel{});
+  double dbh = IngestWithStrategy(web, StrategyKind::kDbh,
+                                  MakeContext(9, web.num_vertices()), c1)
+                   .report.replication_factor;
+  double random = IngestWithStrategy(web, StrategyKind::kRandom,
+                                     MakeContext(9, web.num_vertices()), c2)
+                      .report.replication_factor;
+  EXPECT_LT(dbh, random);
+}
+
+// ---------------------------------------------------------------------------
+// Bipartite generator
+// ---------------------------------------------------------------------------
+
+TEST(BipartiteTest, EdgesOnlyCrossTheTwoSides) {
+  graph::EdgeList g = graph::GenerateBipartite(
+      {.num_users = 500, .num_items = 100, .edges_per_user = 5, .seed = 52});
+  for (const graph::Edge& e : g.edges()) {
+    EXPECT_GE(e.src, 100u);  // users
+    EXPECT_LT(e.dst, 100u);  // items
+  }
+}
+
+TEST(BipartiteTest, ItemPopularityIsSkewedUsersAreNot) {
+  graph::EdgeList g = graph::GenerateBipartite(
+      {.num_users = 4000, .num_items = 800, .edges_per_user = 8, .seed = 53});
+  std::vector<uint64_t> in = g.InDegrees();    // item popularity
+  std::vector<uint64_t> out = g.OutDegrees();  // user activity
+  uint64_t max_item = 0, max_user = 0;
+  for (graph::VertexId v = 0; v < 800; ++v) {
+    max_item = std::max(max_item, in[v]);
+  }
+  for (graph::VertexId v = 800; v < g.num_vertices(); ++v) {
+    max_user = std::max(max_user, out[v]);
+  }
+  double mean_item = static_cast<double>(g.num_edges()) / 800;
+  EXPECT_GT(static_cast<double>(max_item), 8 * mean_item);  // blockbusters
+  EXPECT_LT(max_user, 16u);  // users capped by construction
+}
+
+TEST(BipartiteTest, DeterministicAndDeduplicated) {
+  graph::EdgeList a = graph::GenerateBipartite({.seed = 54});
+  graph::EdgeList b = graph::GenerateBipartite({.seed = 54});
+  EXPECT_EQ(a.edges(), b.edges());
+  std::set<std::pair<graph::VertexId, graph::VertexId>> seen;
+  for (const graph::Edge& e : a.edges()) {
+    EXPECT_TRUE(seen.insert({e.src, e.dst}).second);
+  }
+}
+
+TEST(BipartiteTest, ClassifiedAsSkewed) {
+  graph::EdgeList g = graph::GenerateBipartite(
+      {.num_users = 6000, .num_items = 1200, .seed = 55});
+  graph::GraphStats stats = graph::ComputeGraphStats(g);
+  EXPECT_NE(stats.classified, graph::GraphClass::kLowDegree);
+}
+
+}  // namespace
+}  // namespace gdp::partition

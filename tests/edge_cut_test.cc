@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "engine/edge_cut.h"
+#include "graph/generators.h"
+
+namespace gdp::engine {
+namespace {
+
+TEST(EdgeCutTest, SingleMachineHasNoCuts) {
+  graph::EdgeList edges = graph::GenerateErdosRenyi(
+      {.num_vertices = 200, .num_edges = 1000, .seed = 1});
+  EdgeCutAnalysis a = AnalyzeEdgeCut(edges, 1);
+  EXPECT_EQ(a.cut_edges, 0u);
+  EXPECT_EQ(a.messages_per_superstep, 0u);
+  EXPECT_DOUBLE_EQ(a.load_imbalance, 1.0);
+}
+
+TEST(EdgeCutTest, HashPlacementCutsMostEdges) {
+  // With N machines and no locality, ~ (N-1)/N of edges are cut.
+  graph::EdgeList edges = graph::GenerateErdosRenyi(
+      {.num_vertices = 2000, .num_edges = 20000, .seed = 2});
+  EdgeCutAnalysis a = AnalyzeEdgeCut(edges, 10);
+  EXPECT_NEAR(a.cut_fraction, 0.9, 0.02);
+  EXPECT_EQ(a.messages_per_superstep, 2 * a.cut_edges);
+}
+
+TEST(EdgeCutTest, RangePlacementExploitsRoadLocality) {
+  graph::EdgeList road = graph::GenerateRoadNetwork(
+      {.width = 80, .height = 80, .seed = 3});
+  EdgeCutAnalysis hash = AnalyzeEdgeCut(road, 8);
+  EdgeCutAnalysis range = AnalyzeEdgeCut(road, 8, 0, true);
+  EXPECT_LT(range.cut_fraction, 0.1);
+  EXPECT_LT(range.cut_edges * 5, hash.cut_edges);
+}
+
+TEST(EdgeCutTest, HubsCannotBeSplit) {
+  // A star's hub puts its entire degree on one machine: imbalance ~ N/2
+  // (the hub machine holds half the total degree mass).
+  graph::EdgeList star;
+  for (graph::VertexId i = 1; i <= 1000; ++i) star.AddEdge(i, 0);
+  EdgeCutAnalysis a = AnalyzeEdgeCut(star, 8);
+  EXPECT_GT(a.load_imbalance, 3.0);
+}
+
+TEST(EdgeCutTest, VertexCutSplitsTheSameHub) {
+  graph::EdgeList star;
+  for (graph::VertexId i = 1; i <= 1000; ++i) star.AddEdge(i, 0);
+  VertexCutAnalysis vc = AnalyzeRandomVertexCut(star, 8);
+  EXPECT_LT(vc.load_imbalance, 1.2);
+  // The hub is replicated on every machine; leaves stay put.
+  EXPECT_GT(vc.replication_factor, 1.0);
+  EXPECT_LT(vc.replication_factor, 1.2);  // 1001 vertices, hub has 8
+}
+
+TEST(EdgeCutTest, VertexCutMessagesMatchReplicaFormula) {
+  graph::EdgeList edges;
+  edges.AddEdge(0, 1);
+  edges.AddEdge(2, 3);
+  VertexCutAnalysis vc = AnalyzeRandomVertexCut(edges, 4);
+  // Each of the 4 vertices has exactly 1 replica (one edge each) plus the
+  // randomly chosen master is one of them: messages = 2 * sum(replicas-1)
+  // = 0.
+  EXPECT_EQ(vc.messages_per_superstep, 0u);
+}
+
+}  // namespace
+}  // namespace gdp::engine

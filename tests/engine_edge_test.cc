@@ -1,0 +1,237 @@
+// Edge cases and boundary behaviour of the engines and ingest pipeline:
+// degenerate clusters, isolated vertices, unreachable sources, and
+// cross-engine invariants that must hold regardless of configuration.
+
+#include <gtest/gtest.h>
+
+#include "apps/pagerank.h"
+#include "apps/reference.h"
+#include "apps/sssp.h"
+#include "apps/wcc.h"
+#include "engine/async_coloring.h"
+#include "engine/gas_engine.h"
+#include "graph/generators.h"
+#include "partition/ingest.h"
+
+namespace gdp::engine {
+namespace {
+
+using partition::IngestResult;
+using partition::IngestWithStrategy;
+using partition::PartitionContext;
+using partition::StrategyKind;
+
+IngestResult Partition(const graph::EdgeList& edges, uint32_t machines,
+                       StrategyKind strategy = StrategyKind::kRandom) {
+  // The ingest cluster is scratch: DistributedGraph owns no reference to it.
+  sim::Cluster scratch(machines, sim::CostModel{});
+  PartitionContext context;
+  context.num_partitions = machines;
+  context.num_vertices = edges.num_vertices();
+  context.num_loaders = machines;
+  context.seed = 3;
+  return IngestWithStrategy(edges, strategy, context, scratch);
+}
+
+TEST(EngineEdgeTest, SingleMachineSendsNoNetwork) {
+  graph::EdgeList edges = graph::GenerateErdosRenyi(
+      {.num_vertices = 200, .num_edges = 1000, .seed = 1});
+  sim::Cluster cluster(1, sim::CostModel{});
+  PartitionContext context;
+  context.num_partitions = 1;
+  context.num_vertices = edges.num_vertices();
+  IngestResult ingest = IngestWithStrategy(edges, StrategyKind::kRandom,
+                                           context, cluster);
+  RunOptions options;
+  options.max_iterations = 5;
+  auto run = RunGasEngine(EngineKind::kPowerGraphSync, ingest.graph, cluster,
+                          apps::PageRankFixed(), options);
+  EXPECT_EQ(run.stats.network_bytes, 0u);
+  EXPECT_GT(run.stats.compute_seconds, 0.0);
+}
+
+TEST(EngineEdgeTest, TwoVertexGraph) {
+  graph::EdgeList edges;
+  edges.AddEdge(0, 1);
+  IngestResult ingest = Partition(edges, 2);
+  sim::Cluster cluster(2, sim::CostModel{});
+  RunOptions options;
+  options.max_iterations = 20;
+  auto run = RunGasEngine(EngineKind::kPowerGraphSync, ingest.graph, cluster,
+                          apps::PageRankFixed(), options);
+  EXPECT_NEAR(run.states[0], 0.15, 1e-12);
+  EXPECT_NEAR(run.states[1], 0.15 + 0.85 * 0.15, 1e-12);
+}
+
+TEST(EngineEdgeTest, IsolatedVerticesStayUntouched) {
+  // Vertices 5..9 have no edges: not present, never active, never applied.
+  graph::EdgeList edges(/*name=*/"gap", /*num_vertices=*/10,
+                        {{0, 1}, {1, 2}});
+  IngestResult ingest = Partition(edges, 3);
+  sim::Cluster cluster(3, sim::CostModel{});
+  RunOptions options;
+  options.max_iterations = 50;
+  auto run = RunGasEngine(EngineKind::kPowerGraphSync, ingest.graph, cluster,
+                          apps::WccApp{}, options);
+  EXPECT_TRUE(run.stats.converged);
+  for (graph::VertexId v = 5; v < 10; ++v) {
+    EXPECT_FALSE(ingest.graph.present[v]);
+    EXPECT_EQ(run.states[v], v);  // untouched initial label
+  }
+  EXPECT_EQ(run.states[2], 0u);
+}
+
+TEST(EngineEdgeTest, SsspFromVertexWithNoOutEdges) {
+  // Source 2 is a sink (directed): nothing is reachable, run converges
+  // after the bootstrap fizzles.
+  graph::EdgeList edges;
+  edges.AddEdge(0, 1);
+  edges.AddEdge(1, 2);
+  IngestResult ingest = Partition(edges, 2);
+  sim::Cluster cluster(2, sim::CostModel{});
+  apps::DirectedSsspApp app;
+  app.source = 2;
+  RunOptions options;
+  options.max_iterations = 50;
+  auto run = RunGasEngine(EngineKind::kPowerGraphSync, ingest.graph, cluster,
+                          app, options);
+  EXPECT_TRUE(run.stats.converged);
+  EXPECT_EQ(run.states[2], 0u);
+  EXPECT_EQ(run.states[0], apps::kInfiniteDistance);
+  EXPECT_EQ(run.states[1], apps::kInfiniteDistance);
+}
+
+TEST(EngineEdgeTest, ZeroIterationBudget) {
+  graph::EdgeList edges = graph::GenerateErdosRenyi(
+      {.num_vertices = 50, .num_edges = 200, .seed = 2});
+  IngestResult ingest = Partition(edges, 2);
+  sim::Cluster cluster(2, sim::CostModel{});
+  RunOptions options;
+  options.max_iterations = 0;
+  auto run = RunGasEngine(EngineKind::kPowerGraphSync, ingest.graph, cluster,
+                          apps::PageRankFixed(), options);
+  EXPECT_EQ(run.stats.iterations, 0u);
+  // States remain initial.
+  for (graph::VertexId v = 0; v < edges.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(run.states[v], 1.0);
+  }
+}
+
+TEST(EngineEdgeTest, IterationCapStopsDivergentRuns) {
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 500, .edges_per_vertex = 4, .seed = 3});
+  IngestResult ingest = Partition(edges, 4);
+  sim::Cluster cluster(4, sim::CostModel{});
+  RunOptions options;
+  options.max_iterations = 7;  // PageRank with tol=0 never converges
+  auto run = RunGasEngine(EngineKind::kPowerGraphSync, ingest.graph, cluster,
+                          apps::PageRankFixed(), options);
+  EXPECT_EQ(run.stats.iterations, 7u);
+  EXPECT_FALSE(run.stats.converged);
+}
+
+TEST(EngineEdgeTest, EnginesAgreeOnResultsDifferOnCosts) {
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 2000, .edges_per_vertex = 5, .seed = 4});
+  partition::IngestOptions options;
+  options.master_policy = partition::MasterPolicy::kVertexHash;
+  options.use_partitioner_master_preference = true;
+  PartitionContext context;
+  context.num_partitions = 8;
+  context.num_vertices = edges.num_vertices();
+  context.num_loaders = 8;
+  RunOptions run_options;
+  run_options.max_iterations = 8;
+
+  std::vector<double> first_states;
+  std::vector<uint64_t> nets;
+  for (EngineKind kind :
+       {EngineKind::kPowerGraphSync, EngineKind::kPowerLyraHybrid,
+        EngineKind::kGraphXPregel}) {
+    sim::Cluster cluster(8, sim::CostModel{});
+    IngestResult ingest = IngestWithStrategy(edges, StrategyKind::kHybrid,
+                                             context, cluster, options);
+    auto run = RunGasEngine(kind, ingest.graph, cluster,
+                            apps::PageRankFixed(), run_options);
+    if (first_states.empty()) {
+      first_states = run.states;
+    } else {
+      EXPECT_EQ(run.states, first_states)
+          << "engines must agree on values for " << EngineKindName(kind);
+    }
+    nets.push_back(run.stats.network_bytes);
+  }
+  // PowerLyra's discipline saves traffic vs PowerGraph's on this natural
+  // app + hybrid partitioning combination.
+  EXPECT_LT(nets[1], nets[0]);
+}
+
+TEST(EngineEdgeTest, AsyncColoringOnSingleMachine) {
+  graph::EdgeList edges = graph::GenerateRoadNetwork(
+      {.width = 15, .height = 15, .seed = 5});
+  sim::Cluster cluster(1, sim::CostModel{});
+  PartitionContext context;
+  context.num_partitions = 1;
+  context.num_vertices = edges.num_vertices();
+  IngestResult ingest = IngestWithStrategy(edges, StrategyKind::kRandom,
+                                           context, cluster);
+  RunOptions options;
+  options.max_iterations = 500;
+  AsyncColoringResult result = RunAsyncColoring(ingest.graph, cluster,
+                                                options);
+  EXPECT_TRUE(result.stats.converged);
+  EXPECT_TRUE(apps::IsProperColoring(edges, result.colors));
+  EXPECT_EQ(result.stats.network_bytes, 0u);
+}
+
+TEST(EngineEdgeTest, AsyncStalenessCostsRounds) {
+  // The same graph colored on 1 machine (no staleness) must converge in
+  // no more rounds than on 8 machines (remote reads are one round stale).
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 800, .edges_per_vertex = 4, .seed = 6});
+  auto rounds_on = [&](uint32_t machines) {
+    sim::Cluster cluster(machines, sim::CostModel{});
+    PartitionContext context;
+    context.num_partitions = machines;
+    context.num_vertices = edges.num_vertices();
+    context.num_loaders = machines;
+    IngestResult ingest = IngestWithStrategy(edges, StrategyKind::kRandom,
+                                             context, cluster);
+    RunOptions options;
+    options.max_iterations = 1000;
+    return RunAsyncColoring(ingest.graph, cluster, options).stats.iterations;
+  };
+  EXPECT_LE(rounds_on(1), rounds_on(8));
+}
+
+TEST(EngineEdgeTest, GraphXShuffleCostTracksPartitionRf) {
+  // With equal machine counts, the GraphX engine must run slower on a
+  // higher-partition-RF placement of the same graph (the §7.4 mechanism).
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 4000, .edges_per_vertex = 8, .seed = 7});
+  auto run = [&](StrategyKind strategy) {
+    sim::Cluster cluster(8, sim::CostModel{});
+    PartitionContext context;
+    context.num_partitions = 64;
+    context.num_vertices = edges.num_vertices();
+    context.num_loaders = 8;
+    partition::IngestOptions ing;
+    ing.master_policy = partition::MasterPolicy::kVertexHash;
+    IngestResult ingest =
+        IngestWithStrategy(edges, strategy, context, cluster, ing);
+    RunOptions options;
+    options.max_iterations = 5;
+    options.work_multiplier = 4.0;
+    auto r = RunGasEngine(EngineKind::kGraphXPregel, ingest.graph, cluster,
+                          apps::PageRankFixed(), options);
+    return std::pair<double, double>(ingest.report.replication_factor,
+                                     r.stats.compute_seconds);
+  };
+  auto [rf_2d, t_2d] = run(StrategyKind::kTwoD);
+  auto [rf_rand, t_rand] = run(StrategyKind::kAsymmetricRandom);
+  ASSERT_LT(rf_2d, rf_rand);
+  EXPECT_LT(t_2d, t_rand);
+}
+
+}  // namespace
+}  // namespace gdp::engine

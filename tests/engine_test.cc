@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "apps/pagerank.h"
+#include "apps/reference.h"
+#include "apps/sssp.h"
+#include "apps/wcc.h"
+#include "engine/gas_engine.h"
+#include "graph/generators.h"
+#include "partition/ingest.h"
+#include "sim/cluster.h"
+
+namespace gdp::engine {
+namespace {
+
+using partition::IngestOptions;
+using partition::IngestResult;
+using partition::IngestWithStrategy;
+using partition::MasterPolicy;
+using partition::PartitionContext;
+using partition::StrategyKind;
+
+IngestResult Partition(const graph::EdgeList& edges, StrategyKind strategy,
+                       uint32_t machines, sim::Cluster& cluster,
+                       MasterPolicy policy = MasterPolicy::kRandomReplica) {
+  PartitionContext context;
+  context.num_partitions = machines;
+  context.num_vertices = edges.num_vertices();
+  context.num_loaders = machines;
+  context.seed = 3;
+  IngestOptions options;
+  options.master_policy = policy;
+  return IngestWithStrategy(edges, strategy, context, cluster, options);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-and-strategy independence of results: the core correctness
+// property. Any engine x strategy combination computes the same answers as
+// the single-machine reference.
+// ---------------------------------------------------------------------------
+
+using Combo = std::tuple<EngineKind, StrategyKind>;
+
+class EngineCorrectnessTest : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(EngineCorrectnessTest, PageRankMatchesReference) {
+  auto [engine_kind, strategy] = GetParam();
+  graph::EdgeList edges = graph::GeneratePowerLawWeb(
+      {.num_vertices = 800, .seed = 41});
+  sim::Cluster cluster(9, sim::CostModel{});
+  IngestResult ingest = Partition(edges, strategy, 9, cluster);
+
+  apps::PageRankApp app = apps::PageRankFixed();
+  RunOptions options;
+  options.max_iterations = 10;
+  auto result =
+      RunGasEngine(engine_kind, ingest.graph, cluster, app, options);
+  std::vector<double> expected = apps::ReferencePageRank(edges, 0.85, 10);
+  for (graph::VertexId v = 0; v < edges.num_vertices(); ++v) {
+    if (!ingest.graph.present[v]) continue;
+    ASSERT_NEAR(result.states[v], expected[v], 1e-9) << "vertex " << v;
+  }
+}
+
+TEST_P(EngineCorrectnessTest, WccMatchesReference) {
+  auto [engine_kind, strategy] = GetParam();
+  graph::EdgeList edges = graph::GenerateRoadNetwork(
+      {.width = 25, .height = 25, .drop_fraction = 0.3, .seed = 42});
+  sim::Cluster cluster(9, sim::CostModel{});
+  IngestResult ingest = Partition(edges, strategy, 9, cluster);
+
+  RunOptions options;
+  options.max_iterations = 5000;
+  auto result = RunGasEngine(engine_kind, ingest.graph, cluster,
+                             apps::WccApp{}, options);
+  EXPECT_TRUE(result.stats.converged);
+  std::vector<graph::VertexId> expected = apps::ReferenceWcc(edges);
+  for (graph::VertexId v = 0; v < edges.num_vertices(); ++v) {
+    if (!ingest.graph.present[v]) continue;
+    ASSERT_EQ(result.states[v], expected[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(EngineCorrectnessTest, SsspMatchesReference) {
+  auto [engine_kind, strategy] = GetParam();
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 600, .edges_per_vertex = 3, .seed = 43});
+  sim::Cluster cluster(9, sim::CostModel{});
+  IngestResult ingest = Partition(edges, strategy, 9, cluster);
+
+  apps::SsspApp app;
+  app.source = 5;
+  RunOptions options;
+  options.max_iterations = 5000;
+  auto result = RunGasEngine(engine_kind, ingest.graph, cluster, app,
+                             options);
+  EXPECT_TRUE(result.stats.converged);
+  std::vector<uint32_t> expected =
+      apps::ReferenceSssp(edges, 5, /*directed=*/false);
+  for (graph::VertexId v = 0; v < edges.num_vertices(); ++v) {
+    if (!ingest.graph.present[v]) continue;
+    ASSERT_EQ(result.states[v], expected[v]) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesAndStrategies, EngineCorrectnessTest,
+    ::testing::Combine(
+        ::testing::Values(EngineKind::kPowerGraphSync,
+                          EngineKind::kPowerLyraHybrid,
+                          EngineKind::kGraphXPregel),
+        ::testing::Values(StrategyKind::kRandom, StrategyKind::kGrid,
+                          StrategyKind::kOblivious, StrategyKind::kHdrf,
+                          StrategyKind::kHybrid,
+                          StrategyKind::kHybridGinger, StrategyKind::kOneD,
+                          StrategyKind::kTwoD)),
+    [](const ::testing::TestParamInfo<Combo>& info) {
+      std::string name =
+          std::string(EngineKindName(std::get<0>(info.param))) + "_" +
+          partition::StrategyName(std::get<1>(info.param));
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Directed SSSP
+// ---------------------------------------------------------------------------
+
+TEST(EngineTest, DirectedSsspMatchesReference) {
+  graph::EdgeList edges = graph::GeneratePowerLawWeb(
+      {.num_vertices = 500, .seed = 44});
+  sim::Cluster cluster(4, sim::CostModel{});
+  IngestResult ingest = Partition(edges, StrategyKind::kRandom, 4, cluster);
+  apps::DirectedSsspApp app;
+  app.source = 1;
+  RunOptions options;
+  options.max_iterations = 5000;
+  auto result = RunGasEngine(EngineKind::kPowerGraphSync, ingest.graph,
+                             cluster, app, options);
+  std::vector<uint32_t> expected =
+      apps::ReferenceSssp(edges, 1, /*directed=*/true);
+  for (graph::VertexId v = 0; v < edges.num_vertices(); ++v) {
+    if (!ingest.graph.present[v]) continue;
+    ASSERT_EQ(result.states[v], expected[v]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Accounting properties
+// ---------------------------------------------------------------------------
+
+TEST(EngineAccountingTest, NetworkGrowsWithReplicationFactor) {
+  // Fig 5.3's linear law, at the ordering level: higher-RF partitionings
+  // send more bytes for the same app on the same engine.
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 4000, .edges_per_vertex = 6, .seed = 45});
+  auto run = [&](StrategyKind strategy) {
+    sim::Cluster cluster(9, sim::CostModel{});
+    IngestResult ingest = Partition(edges, strategy, 9, cluster);
+    RunOptions options;
+    options.max_iterations = 5;
+    auto result =
+        RunGasEngine(EngineKind::kPowerGraphSync, ingest.graph, cluster,
+                     apps::PageRankFixed(), options);
+    return std::pair<double, uint64_t>(ingest.report.replication_factor,
+                                       result.stats.network_bytes);
+  };
+  auto [rf_random, net_random] = run(StrategyKind::kRandom);
+  auto [rf_grid, net_grid] = run(StrategyKind::kGrid);
+  ASSERT_GT(rf_random, rf_grid);
+  EXPECT_GT(net_random, net_grid);
+}
+
+TEST(EngineAccountingTest, PowerLyraSavesNetworkOnNaturalApps) {
+  // §6.4.1: with Hybrid partitioning and a natural application, the
+  // PowerLyra engine moves less data than the PowerGraph engine does on
+  // the very same partitioned graph.
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 4000, .edges_per_vertex = 6, .seed = 46});
+  sim::Cluster c1(9, sim::CostModel{});
+  sim::Cluster c2(9, sim::CostModel{});
+  IngestOptions options;
+  options.master_policy = MasterPolicy::kVertexHash;
+  options.use_partitioner_master_preference = true;
+  PartitionContext context;
+  context.num_partitions = 9;
+  context.num_vertices = edges.num_vertices();
+  context.num_loaders = 9;
+  IngestResult i1 = IngestWithStrategy(edges, StrategyKind::kHybrid, context,
+                                       c1, options);
+  IngestResult i2 = IngestWithStrategy(edges, StrategyKind::kHybrid, context,
+                                       c2, options);
+  RunOptions run_options;
+  run_options.max_iterations = 5;
+  auto pg = RunGasEngine(EngineKind::kPowerGraphSync, i1.graph, c1,
+                         apps::PageRankFixed(), run_options);
+  auto pl = RunGasEngine(EngineKind::kPowerLyraHybrid, i2.graph, c2,
+                         apps::PageRankFixed(), run_options);
+  EXPECT_LT(pl.stats.network_bytes, pg.stats.network_bytes);
+}
+
+TEST(EngineAccountingTest, NonNaturalAppGetsNoHybridSavings) {
+  // §6.4.1: undirected SSSP gathers in both directions, so the hybrid
+  // engine's low-degree optimization cannot elide much traffic.
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 3000, .edges_per_vertex = 5, .seed = 47});
+  IngestOptions ing_options;
+  ing_options.master_policy = MasterPolicy::kVertexHash;
+  ing_options.use_partitioner_master_preference = true;
+  PartitionContext context;
+  context.num_partitions = 9;
+  context.num_vertices = edges.num_vertices();
+  context.num_loaders = 9;
+  sim::Cluster c1(9, sim::CostModel{});
+  sim::Cluster c2(9, sim::CostModel{});
+  IngestResult i1 = IngestWithStrategy(edges, StrategyKind::kHybrid, context,
+                                       c1, ing_options);
+  IngestResult i2 = IngestWithStrategy(edges, StrategyKind::kHybrid, context,
+                                       c2, ing_options);
+  RunOptions run_options;
+  run_options.max_iterations = 5000;
+  apps::SsspApp app;
+  app.source = 0;
+  auto pg = RunGasEngine(EngineKind::kPowerGraphSync, i1.graph, c1, app,
+                         run_options);
+  auto pl = RunGasEngine(EngineKind::kPowerLyraHybrid, i2.graph, c2, app,
+                         run_options);
+  // Savings exist but are much smaller than for PageRank; the ratio must
+  // be close to 1.
+  ASSERT_GT(pg.stats.network_bytes, 0u);
+  double ratio = static_cast<double>(pl.stats.network_bytes) /
+                 static_cast<double>(pg.stats.network_bytes);
+  EXPECT_GT(ratio, 0.55);
+}
+
+TEST(EngineAccountingTest, ComputeTimeAdvancesClockAndCpu) {
+  graph::EdgeList edges = graph::GenerateErdosRenyi(
+      {.num_vertices = 500, .num_edges = 2500, .seed = 48});
+  sim::Cluster cluster(4, sim::CostModel{});
+  IngestResult ingest = Partition(edges, StrategyKind::kRandom, 4, cluster);
+  RunOptions options;
+  options.max_iterations = 3;
+  auto result = RunGasEngine(EngineKind::kPowerGraphSync, ingest.graph,
+                             cluster, apps::PageRankFixed(), options);
+  EXPECT_EQ(result.stats.iterations, 3u);
+  EXPECT_GT(result.stats.compute_seconds, 0.0);
+  EXPECT_EQ(result.stats.cumulative_seconds.size(), 3u);
+  EXPECT_LE(result.stats.cumulative_seconds[0],
+            result.stats.cumulative_seconds[2]);
+  for (double util : cluster.CpuUtilizations()) {
+    EXPECT_GT(util, 0.0);
+    EXPECT_LE(util, 1.0);
+  }
+}
+
+TEST(EngineAccountingTest, ActiveCountsShrinkForSssp) {
+  // SSSP's frontier grows then dies out; the last iteration has no actives.
+  graph::EdgeList edges = graph::GenerateRoadNetwork(
+      {.width = 30, .height = 30, .seed = 49});
+  sim::Cluster cluster(4, sim::CostModel{});
+  IngestResult ingest = Partition(edges, StrategyKind::kRandom, 4, cluster);
+  apps::SsspApp app;
+  app.source = 0;
+  RunOptions options;
+  options.max_iterations = 5000;
+  auto result = RunGasEngine(EngineKind::kPowerGraphSync, ingest.graph,
+                             cluster, app, options);
+  EXPECT_TRUE(result.stats.converged);
+  EXPECT_EQ(result.stats.active_counts.back(), 0u);
+  uint64_t peak = 0;
+  for (uint64_t a : result.stats.active_counts) peak = std::max(peak, a);
+  EXPECT_GT(peak, 1u);
+}
+
+TEST(EngineAccountingTest, GraphXWorkMultiplierSlowsCompute) {
+  graph::EdgeList edges = graph::GenerateErdosRenyi(
+      {.num_vertices = 800, .num_edges = 8000, .seed = 50});
+  auto compute_seconds = [&](double multiplier) {
+    sim::Cluster cluster(4, sim::CostModel{});
+    IngestResult ingest = Partition(edges, StrategyKind::kTwoD, 4, cluster,
+                                    MasterPolicy::kVertexHash);
+    RunOptions options;
+    options.max_iterations = 5;
+    options.work_multiplier = multiplier;
+    auto result = RunGasEngine(EngineKind::kGraphXPregel, ingest.graph,
+                               cluster, apps::PageRankFixed(), options);
+    return result.stats.compute_seconds;
+  };
+  EXPECT_GT(compute_seconds(4.0), compute_seconds(1.0));
+}
+
+TEST(EngineAccountingTest, MachineMasksMatchReplicaTables) {
+  graph::EdgeList edges = graph::GenerateErdosRenyi(
+      {.num_vertices = 300, .num_edges = 1500, .seed = 51});
+  sim::Cluster cluster(6, sim::CostModel{});
+  IngestResult ingest = Partition(edges, StrategyKind::kRandom, 6, cluster);
+  internal::MachineMasks masks = internal::MachineMasks::Build(ingest.graph);
+  for (graph::VertexId v = 0; v < edges.num_vertices(); ++v) {
+    if (!ingest.graph.present[v]) continue;
+    EXPECT_EQ(static_cast<uint32_t>(std::popcount(masks.replicas[v])),
+              ingest.graph.replicas.Count(v));
+    EXPECT_EQ(masks.master_machine[v], ingest.graph.master[v] % 6);
+  }
+}
+
+}  // namespace
+}  // namespace gdp::engine

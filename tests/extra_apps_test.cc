@@ -1,0 +1,224 @@
+// Tests for the extension applications (triangle counting, label
+// propagation, multi-source BFS) across engines and strategies.
+
+#include <gtest/gtest.h>
+
+#include "apps/label_propagation.h"
+#include "apps/msbfs.h"
+#include "apps/reference.h"
+#include "apps/sssp.h"
+#include "apps/triangle_count.h"
+#include "engine/gas_engine.h"
+#include "graph/generators.h"
+#include "partition/ingest.h"
+
+namespace gdp::apps {
+namespace {
+
+using engine::EngineKind;
+using engine::RunOptions;
+using partition::IngestResult;
+using partition::PartitionContext;
+using partition::StrategyKind;
+
+IngestResult Partition(const graph::EdgeList& edges, uint32_t machines,
+                       sim::Cluster& cluster,
+                       StrategyKind strategy = StrategyKind::kGrid) {
+  PartitionContext context;
+  context.num_partitions = machines;
+  context.num_vertices = edges.num_vertices();
+  context.num_loaders = machines;
+  context.seed = 3;
+  return IngestWithStrategy(edges, strategy, context, cluster);
+}
+
+// ---------------------------------------------------------------------------
+// Triangle counting
+// ---------------------------------------------------------------------------
+
+TEST(TriangleTest, ReferenceOnKnownShapes) {
+  graph::EdgeList triangle;
+  triangle.AddEdge(0, 1);
+  triangle.AddEdge(1, 2);
+  triangle.AddEdge(2, 0);
+  EXPECT_EQ(ReferenceTriangleCount(triangle), 1u);
+
+  graph::EdgeList square;  // C4: no triangles
+  square.AddEdge(0, 1);
+  square.AddEdge(1, 2);
+  square.AddEdge(2, 3);
+  square.AddEdge(3, 0);
+  EXPECT_EQ(ReferenceTriangleCount(square), 0u);
+
+  graph::EdgeList k4;  // complete graph on 4 vertices: 4 triangles
+  for (graph::VertexId u = 0; u < 4; ++u) {
+    for (graph::VertexId v = u + 1; v < 4; ++v) k4.AddEdge(u, v);
+  }
+  EXPECT_EQ(ReferenceTriangleCount(k4), 4u);
+}
+
+TEST(TriangleTest, ReferenceIgnoresDuplicatesAndDirections) {
+  graph::EdgeList triangle;
+  triangle.AddEdge(0, 1);
+  triangle.AddEdge(1, 0);  // reverse duplicate
+  triangle.AddEdge(1, 2);
+  triangle.AddEdge(2, 0);
+  triangle.AddEdge(0, 2);  // another duplicate
+  EXPECT_EQ(ReferenceTriangleCount(triangle), 1u);
+}
+
+TEST(TriangleTest, DistributedMatchesReference) {
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 600, .edges_per_vertex = 5, .seed = 31});
+  sim::Cluster cluster(6, sim::CostModel{});
+  IngestResult ingest = Partition(edges, 6, cluster);
+  TriangleCountResult result = CountTriangles(
+      EngineKind::kPowerGraphSync, ingest.graph, cluster, RunOptions{});
+  EXPECT_EQ(result.total_triangles, ReferenceTriangleCount(edges));
+  EXPECT_GT(result.total_triangles, 0u);
+}
+
+TEST(TriangleTest, CountIsPartitioningIndependent) {
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 400, .edges_per_vertex = 4, .seed = 32});
+  uint64_t expected = ReferenceTriangleCount(edges);
+  for (StrategyKind strategy :
+       {StrategyKind::kRandom, StrategyKind::kHdrf, StrategyKind::kTwoD}) {
+    sim::Cluster cluster(5, sim::CostModel{});
+    IngestResult ingest = Partition(edges, 5, cluster, strategy);
+    TriangleCountResult result = CountTriangles(
+        EngineKind::kPowerGraphSync, ingest.graph, cluster, RunOptions{});
+    EXPECT_EQ(result.total_triangles, expected)
+        << partition::StrategyName(strategy);
+  }
+}
+
+TEST(TriangleTest, PerVertexCountsSumToThreePerTriangle) {
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 300, .edges_per_vertex = 4, .seed = 33});
+  sim::Cluster cluster(4, sim::CostModel{});
+  IngestResult ingest = Partition(edges, 4, cluster);
+  TriangleCountResult result = CountTriangles(
+      EngineKind::kPowerGraphSync, ingest.graph, cluster, RunOptions{});
+  uint64_t sum = 0;
+  for (uint64_t c : result.per_vertex) sum += c;
+  EXPECT_EQ(sum, 3 * result.total_triangles);
+}
+
+// ---------------------------------------------------------------------------
+// Label propagation
+// ---------------------------------------------------------------------------
+
+TEST(LabelPropagationTest, ModeLabelPicksMostFrequentThenSmallest) {
+  EXPECT_EQ(LabelPropagationApp::ModeLabel({3, 1, 3, 2}), 3u);
+  EXPECT_EQ(LabelPropagationApp::ModeLabel({5, 2, 5, 2}), 2u);  // tie
+  EXPECT_EQ(LabelPropagationApp::ModeLabel({9}), 9u);
+}
+
+TEST(LabelPropagationTest, CliquesConvergeToMinLabel) {
+  // Two disjoint 6-cliques: every vertex must adopt its clique's minimum.
+  graph::EdgeList edges;
+  for (graph::VertexId base : {0u, 10u}) {
+    for (graph::VertexId u = 0; u < 6; ++u) {
+      for (graph::VertexId v = u + 1; v < 6; ++v) {
+        edges.AddEdge(base + u, base + v);
+      }
+    }
+  }
+  sim::Cluster cluster(4, sim::CostModel{});
+  IngestResult ingest = Partition(edges, 4, cluster);
+  RunOptions options;
+  options.max_iterations = 50;
+  auto run = engine::RunGasEngine(EngineKind::kPowerGraphSync, ingest.graph,
+                                  cluster, LabelPropagationApp{}, options);
+  EXPECT_TRUE(run.stats.converged);
+  for (graph::VertexId v = 0; v < 6; ++v) EXPECT_EQ(run.states[v], 0u);
+  for (graph::VertexId v = 10; v < 16; ++v) EXPECT_EQ(run.states[v], 10u);
+}
+
+TEST(LabelPropagationTest, CommunitiesRespectComponents) {
+  // LPA labels can only spread along edges: any final label must come from
+  // the same weakly connected component.
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 800, .edges_per_vertex = 4, .seed = 34});
+  sim::Cluster cluster(4, sim::CostModel{});
+  IngestResult ingest = Partition(edges, 4, cluster);
+  RunOptions options;
+  options.max_iterations = 30;  // capped: sync LPA may oscillate
+  auto run = engine::RunGasEngine(EngineKind::kPowerGraphSync, ingest.graph,
+                                  cluster, LabelPropagationApp{}, options);
+  std::vector<graph::VertexId> component = ReferenceWcc(edges);
+  for (graph::VertexId v = 0; v < edges.num_vertices(); ++v) {
+    if (!ingest.graph.present[v]) continue;
+    EXPECT_EQ(component[run.states[v]], component[v]) << "vertex " << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-source BFS
+// ---------------------------------------------------------------------------
+
+TEST(MsBfsTest, MasksMatchPerSourceBfs) {
+  graph::EdgeList edges = graph::GenerateRoadNetwork(
+      {.width = 20, .height = 20, .seed = 35});
+  sim::Cluster cluster(4, sim::CostModel{});
+  IngestResult ingest = Partition(edges, 4, cluster);
+  MsBfsApp app;
+  app.sources = {0, 57, 399};
+  RunOptions options;
+  options.max_iterations = 500;
+  auto run = engine::RunGasEngine(EngineKind::kPowerGraphSync, ingest.graph,
+                                  cluster, app, options);
+  EXPECT_TRUE(run.stats.converged);
+  for (size_t i = 0; i < app.sources.size(); ++i) {
+    std::vector<uint32_t> dist =
+        ReferenceSssp(edges, app.sources[i], /*directed=*/false);
+    for (graph::VertexId v = 0; v < edges.num_vertices(); ++v) {
+      bool reached = (run.states[v] >> i) & 1;
+      EXPECT_EQ(reached, dist[v] != kInfiniteDistance)
+          << "source " << i << " vertex " << v;
+    }
+  }
+}
+
+TEST(MsBfsTest, SuperstepsBoundEccentricity) {
+  // The run length (supersteps until quiescence) equals the largest
+  // distance any source had to cover, which lower-bounds the diameter.
+  graph::EdgeList path;  // 0-1-2-...-30
+  for (graph::VertexId v = 0; v + 1 <= 30; ++v) path.AddEdge(v, v + 1);
+  sim::Cluster cluster(3, sim::CostModel{});
+  IngestResult ingest = Partition(path, 3, cluster);
+  MsBfsApp app;
+  app.sources = {0};
+  RunOptions options;
+  options.max_iterations = 200;
+  auto run = engine::RunGasEngine(EngineKind::kPowerGraphSync, ingest.graph,
+                                  cluster, app, options);
+  EXPECT_TRUE(run.stats.converged);
+  // Distance 30 end-to-end: 30 productive supersteps + 1 quiescent check.
+  EXPECT_GE(run.stats.iterations, 30u);
+  EXPECT_LE(run.stats.iterations, 32u);
+}
+
+TEST(MsBfsTest, SixtyFourSourcesInOneRun) {
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 500, .edges_per_vertex = 4, .seed = 36});
+  sim::Cluster cluster(4, sim::CostModel{});
+  IngestResult ingest = Partition(edges, 4, cluster);
+  MsBfsApp app;
+  for (graph::VertexId v = 0; v < 64; ++v) app.sources.push_back(v * 7);
+  RunOptions options;
+  options.max_iterations = 200;
+  auto run = engine::RunGasEngine(EngineKind::kPowerGraphSync, ingest.graph,
+                                  cluster, app, options);
+  EXPECT_TRUE(run.stats.converged);
+  // A connected heavy-tailed graph: every present vertex is reached by
+  // every source.
+  for (graph::VertexId v = 0; v < edges.num_vertices(); ++v) {
+    if (!ingest.graph.present[v]) continue;
+    EXPECT_EQ(run.states[v], ~0ULL) << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace gdp::apps

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "partition/greedy.h"
+#include "partition/ingest.h"
+#include "sim/cluster.h"
+
+namespace gdp::partition {
+namespace {
+
+PartitionContext MakeContext(uint32_t partitions, graph::VertexId vertices,
+                             uint32_t loaders = 1) {
+  PartitionContext context;
+  context.num_partitions = partitions;
+  context.num_vertices = vertices;
+  context.num_loaders = loaders;
+  context.seed = 5;
+  return context;
+}
+
+// ---------------------------------------------------------------------------
+// Oblivious — the Appendix A cases
+// ---------------------------------------------------------------------------
+
+TEST(ObliviousTest, Case1IntersectionReused) {
+  // After (0,1) lands somewhere, another (0,1)-incident edge whose
+  // endpoints share that machine must go there too.
+  ObliviousPartitioner p(MakeContext(4, 10));
+  MachineId m1 = p.Assign({0, 1}, 0, 0);
+  MachineId m2 = p.Assign({1, 0}, 0, 0);  // A(0) ∩ A(1) = {m1}
+  EXPECT_EQ(m1, m2);
+}
+
+TEST(ObliviousTest, Case2FollowsPlacedEndpoint) {
+  ObliviousPartitioner p(MakeContext(4, 10));
+  MachineId m1 = p.Assign({0, 1}, 0, 0);
+  // Vertex 2 is new; vertex 0 lives only on m1 -> edge joins m1.
+  MachineId m2 = p.Assign({0, 2}, 0, 0);
+  EXPECT_EQ(m2, m1);
+}
+
+TEST(ObliviousTest, Case3BalancesFreshEdges) {
+  // A stream of disjoint edges must spread across machines (least loaded).
+  ObliviousPartitioner p(MakeContext(4, 100));
+  std::vector<int> counts(4, 0);
+  for (graph::VertexId v = 0; v < 40; v += 2) {
+    ++counts[p.Assign({v, v + 1}, 0, 0)];
+  }
+  for (int c : counts) EXPECT_EQ(c, 5);  // perfectly balanced
+}
+
+TEST(ObliviousTest, Case4PicksFromUnion) {
+  ObliviousPartitioner p(MakeContext(8, 100));
+  // Build up known placements for two disjoint vertex sets.
+  MachineId ma = p.Assign({0, 1}, 0, 0);
+  MachineId mb = p.Assign({2, 3}, 0, 0);
+  ASSERT_NE(ma, mb);  // least-loaded spreads them
+  // Edge (0,2): both placed, disjoint -> goes to ma or mb.
+  MachineId m = p.Assign({0, 2}, 0, 0);
+  EXPECT_TRUE(m == ma || m == mb);
+}
+
+TEST(ObliviousTest, KeepsReplicationNearOneOnAPath) {
+  // A long path streamed in order is the greedy best case: every edge
+  // shares a vertex with the previous one.
+  ObliviousPartitioner p(MakeContext(8, 2000));
+  std::vector<MachineId> assignments;
+  for (graph::VertexId v = 0; v + 1 < 1000; ++v) {
+    assignments.push_back(p.Assign({v, v + 1}, 0, 0));
+  }
+  // Count vertex replicas.
+  uint64_t replicas = 0;
+  for (graph::VertexId v = 0; v < 1000; ++v) {
+    std::set<MachineId> machines;
+    if (v > 0) machines.insert(assignments[v - 1]);
+    if (v + 1 < 1000) machines.insert(assignments[v]);
+    replicas += machines.size();
+  }
+  double rf = static_cast<double>(replicas) / 1000.0;
+  EXPECT_LT(rf, 1.2);
+}
+
+// ---------------------------------------------------------------------------
+// HDRF — Appendix B behaviour
+// ---------------------------------------------------------------------------
+
+TEST(HdrfTest, ReplicatesHighDegreeEndpointNotLowDegree) {
+  // The defining HDRF behaviour (Appendix B): when an edge joins a
+  // high-degree vertex to a low-degree vertex placed elsewhere, the edge
+  // goes to the *low-degree* vertex's machine, replicating the hub there.
+  HdrfPartitioner p(MakeContext(4, 1000));
+  // Grow hub 0's partial degree; a pure star stays on one machine (balance
+  // is only a tie-breaker at lambda <= 1).
+  MachineId m_hub = p.Assign({0, 1}, 0, 0);
+  for (graph::VertexId leaf = 2; leaf < 60; ++leaf) {
+    EXPECT_EQ(p.Assign({0, leaf}, 0, 0), m_hub);
+  }
+  // Place a fresh low-degree pair; least-loaded steers it off m_hub.
+  MachineId m_leaf = p.Assign({500, 501}, 0, 0);
+  ASSERT_NE(m_leaf, m_hub);
+  // Edge hub->leaf follows the low-degree endpoint.
+  EXPECT_EQ(p.Assign({0, 500}, 0, 0), m_leaf);
+}
+
+TEST(HdrfTest, LowDegreeVertexStaysPut) {
+  HdrfPartitioner p(MakeContext(4, 1000));
+  // Prime the hub so it exists everywhere.
+  for (graph::VertexId leaf = 1; leaf < 100; ++leaf) {
+    p.Assign({0, leaf}, 0, 0);
+  }
+  // A two-edge vertex connected to the hub twice: both edges must colocate
+  // (the second edge's machine already holds both endpoints).
+  MachineId m1 = p.Assign({0, 500}, 0, 0);
+  MachineId m2 = p.Assign({500, 0}, 0, 0);
+  EXPECT_EQ(m1, m2);
+}
+
+TEST(HdrfTest, LambdaZeroIgnoresBalance) {
+  // With lambda = 0 a star collapses onto one machine (pure replication
+  // score); with the default lambda = 1 it spreads.
+  PartitionContext context = MakeContext(4, 1000);
+  context.hdrf_lambda = 0.0;
+  HdrfPartitioner p(context);
+  std::set<MachineId> machines;
+  for (graph::VertexId leaf = 1; leaf < 50; ++leaf) {
+    machines.insert(p.Assign({0, leaf}, 0, 0));
+  }
+  EXPECT_EQ(machines.size(), 1u);
+}
+
+TEST(HdrfTest, ExactDegreesChangeNothingMuch) {
+  // The HDRF authors report partial vs exact degrees give similar
+  // replication; check both modes produce valid, similar-quality cuts.
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 3000, .edges_per_vertex = 5, .seed = 77});
+  auto run = [&](bool partial) {
+    PartitionContext context = MakeContext(8, edges.num_vertices());
+    context.hdrf_partial_degrees = partial;
+    HdrfPartitioner p(context);
+    if (!partial) {
+      std::vector<uint64_t> deg = edges.TotalDegrees();
+      p.SetExactDegrees(std::vector<uint32_t>(deg.begin(), deg.end()));
+    }
+    sim::Cluster cluster(8, sim::CostModel{});
+    IngestResult r = Ingest(edges, p, cluster, {});
+    return r.report.replication_factor;
+  };
+  double rf_partial = run(true);
+  double rf_exact = run(false);
+  EXPECT_NEAR(rf_partial, rf_exact, 0.5 * rf_partial);
+}
+
+// ---------------------------------------------------------------------------
+// Loader-local state (the "oblivious" in Oblivious)
+// ---------------------------------------------------------------------------
+
+TEST(LoaderStateTest, MoreLoadersMeanMoreReplication) {
+  graph::EdgeList edges = graph::GenerateRoadNetwork(
+      {.width = 50, .height = 50, .seed = 31});
+  auto rf_with_loaders = [&](uint32_t loaders) {
+    sim::Cluster cluster(5, sim::CostModel{});
+    IngestOptions options;
+    options.num_loaders = loaders;
+    IngestResult r = IngestWithStrategy(
+        edges, StrategyKind::kOblivious,
+        MakeContext(5, edges.num_vertices(), loaders), cluster, options);
+    return r.report.replication_factor;
+  };
+  // Each loader is blind to the others' placements, so quality degrades
+  // with loader count (§5.2.2).
+  EXPECT_LT(rf_with_loaders(1), rf_with_loaders(5));
+  EXPECT_LE(rf_with_loaders(5), rf_with_loaders(20) + 0.05);
+}
+
+TEST(LoaderStateTest, StateBytesGrowWithLoaders) {
+  PartitionContext one = MakeContext(5, 5000, 1);
+  PartitionContext many = MakeContext(5, 5000, 10);
+  EXPECT_GT(ObliviousPartitioner(many).ApproxStateBytes(),
+            ObliviousPartitioner(one).ApproxStateBytes());
+}
+
+TEST(LoaderStateTest, HdrfStateLargerThanOblivious) {
+  // HDRF additionally tracks partial degrees per touched vertex.
+  PartitionContext context = MakeContext(5, 5000, 1);
+  HdrfPartitioner hdrf(context);
+  ObliviousPartitioner oblivious(context);
+  for (graph::VertexId v = 0; v + 1 < 200; v += 2) {
+    hdrf.Assign({v, v + 1}, 0, 0);
+    oblivious.Assign({v, v + 1}, 0, 0);
+  }
+  EXPECT_GT(hdrf.ApproxStateBytes(), oblivious.ApproxStateBytes());
+}
+
+TEST(LoaderStateTest, StateGrowsWithTouchedVertices) {
+  PartitionContext context = MakeContext(5, 5000, 1);
+  ObliviousPartitioner p(context);
+  uint64_t before = p.ApproxStateBytes();
+  for (graph::VertexId v = 0; v + 1 < 100; v += 2) {
+    p.Assign({v, v + 1}, 0, 0);
+  }
+  EXPECT_GT(p.ApproxStateBytes(), before);
+}
+
+}  // namespace
+}  // namespace gdp::partition

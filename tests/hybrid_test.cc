@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "partition/hybrid.h"
+#include "partition/ingest.h"
+#include "sim/cluster.h"
+
+namespace gdp::partition {
+namespace {
+
+PartitionContext MakeContext(uint32_t partitions, graph::VertexId vertices,
+                             uint64_t threshold = 100) {
+  PartitionContext context;
+  context.num_partitions = partitions;
+  context.num_vertices = vertices;
+  context.num_loaders = 1;
+  context.seed = 5;
+  context.hybrid_threshold = threshold;
+  return context;
+}
+
+/// Builds a star graph: edges (i, hub) for i in [1, spokes].
+graph::EdgeList StarInto(graph::VertexId hub, uint32_t spokes) {
+  graph::EdgeList edges;
+  for (graph::VertexId i = 1; i <= spokes; ++i) {
+    edges.AddEdge(hub == i ? spokes + 1 : i, hub);
+  }
+  return edges;
+}
+
+TEST(HybridTest, NeedsTwoPasses) {
+  HybridPartitioner p(MakeContext(4, 10));
+  EXPECT_EQ(p.num_passes(), 2u);
+  HybridGingerPartitioner g(MakeContext(4, 10));
+  EXPECT_EQ(g.num_passes(), 3u);
+}
+
+TEST(HybridTest, LowDegreeEdgesColocateWithDestination) {
+  HybridPartitioner p(MakeContext(4, 100, /*threshold=*/10));
+  graph::EdgeList edges;
+  edges.AddEdge(1, 7);
+  edges.AddEdge(2, 7);
+  edges.AddEdge(3, 8);
+  // Pass 0: hash by destination.
+  MachineId m1 = p.Assign(edges.edges()[0], 0, 0);
+  MachineId m2 = p.Assign(edges.edges()[1], 0, 0);
+  p.Assign(edges.edges()[2], 0, 0);
+  EXPECT_EQ(m1, m2);  // same destination
+  // Pass 1: vertex 7 has in-degree 2 <= threshold -> keep.
+  EXPECT_EQ(p.Assign(edges.edges()[0], 1, 0), kKeepPlacement);
+  EXPECT_FALSE(p.IsHighDegree(7));
+}
+
+TEST(HybridTest, HighDegreeEdgesReassignedBySource) {
+  const uint32_t threshold = 10;
+  HybridPartitioner p(MakeContext(4, 200, threshold));
+  graph::EdgeList star = StarInto(/*hub=*/0, /*spokes=*/50);
+  for (const graph::Edge& e : star.edges()) p.Assign(e, 0, 0);
+  EXPECT_TRUE(p.IsHighDegree(0));
+  // Pass 1: every edge moves to the hash of its *source*.
+  std::set<MachineId> machines;
+  for (const graph::Edge& e : star.edges()) {
+    MachineId m = p.Assign(e, 1, 0);
+    ASSERT_NE(m, kKeepPlacement);
+    machines.insert(m);
+  }
+  EXPECT_GT(machines.size(), 1u) << "hub edges should spread (vertex-cut)";
+}
+
+TEST(HybridTest, MasterPreferenceIsVertexHash) {
+  HybridPartitioner p(MakeContext(4, 100));
+  // The master must sit where pass 0 put the vertex's in-edges: the
+  // destination hash.
+  graph::Edge e{3, 9};
+  MachineId edge_machine = p.Assign(e, 0, 0);
+  EXPECT_EQ(p.PreferredMaster(9), edge_machine);
+}
+
+TEST(HybridTest, StateBytesCoverDegreeCounters) {
+  HybridPartitioner p(MakeContext(4, 1000));
+  EXPECT_GE(p.ApproxStateBytes(), 1000 * sizeof(uint32_t));
+}
+
+TEST(HybridGingerTest, StateDwarfsHybrid) {
+  // The Ginger neighbour-count matrix is the memory overhead the paper
+  // blames for H-Ginger's footprint (§6.4.2).
+  HybridPartitioner hybrid(MakeContext(8, 5000));
+  HybridGingerPartitioner ginger(MakeContext(8, 5000));
+  EXPECT_GT(ginger.ApproxStateBytes(), 5 * hybrid.ApproxStateBytes());
+}
+
+TEST(HybridGingerTest, MovesLowDegreeVertexTowardInNeighbours) {
+  // Vertex 9's in-neighbours all live on one partition; Ginger should pull
+  // 9's in-edges there (or at least keep them on one machine together).
+  const uint32_t n_machines = 4;
+  HybridGingerPartitioner p(MakeContext(n_machines, 64, /*threshold=*/50));
+  // in-neighbours of 9: {1, 2, 3}; also give 1,2,3 a shared home by making
+  // them destinations of their own small stars first.
+  graph::EdgeList edges;
+  edges.AddEdge(1, 9);
+  edges.AddEdge(2, 9);
+  edges.AddEdge(3, 9);
+  for (uint32_t pass = 0; pass < 3; ++pass) {
+    p.BeginPass(pass);
+    for (const graph::Edge& e : edges.edges()) p.Assign(e, pass, 0);
+  }
+  // All of 9's in-edges must land on one partition (edge-cut preserved).
+  // Re-running pass-2 assignments must be stable (memoized target).
+  p.BeginPass(2);
+  std::set<MachineId> final_machines;
+  for (const graph::Edge& e : edges.edges()) {
+    MachineId m = p.Assign(e, 2, 0);
+    final_machines.insert(m == kKeepPlacement ? p.PreferredMaster(9) : m);
+  }
+  EXPECT_EQ(final_machines.size(), 1u);
+}
+
+TEST(HybridGingerTest, EndToEndIngestKeepsLowDegreeEdgeCut) {
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 2000, .edges_per_vertex = 4, .seed = 21});
+  sim::Cluster cluster(8, sim::CostModel{});
+  PartitionContext context = MakeContext(8, edges.num_vertices());
+  context.num_loaders = 8;
+  IngestOptions options;
+  options.master_policy = MasterPolicy::kVertexHash;
+  options.use_partitioner_master_preference = true;
+  IngestResult r = IngestWithStrategy(edges, StrategyKind::kHybridGinger,
+                                      context, cluster, options);
+  // Low-degree (in-degree <= 100) vertices keep all in-edges on one
+  // partition, and their master sits with them.
+  std::vector<uint64_t> in_degree(edges.num_vertices(), 0);
+  for (const graph::Edge& e : edges.edges()) ++in_degree[e.dst];
+  for (graph::VertexId v = 0; v < edges.num_vertices(); ++v) {
+    if (!r.graph.present[v] || in_degree[v] == 0 || in_degree[v] > 100) {
+      continue;
+    }
+    EXPECT_EQ(r.graph.in_edge_partitions.Count(v), 1u) << "vertex " << v;
+    EXPECT_EQ(r.graph.master[v], r.graph.in_edge_partitions.First(v));
+  }
+}
+
+TEST(HybridTest, EndToEndHybridMatchesGingerInvariant) {
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 2000, .edges_per_vertex = 4, .seed = 22});
+  sim::Cluster cluster(8, sim::CostModel{});
+  PartitionContext context = MakeContext(8, edges.num_vertices());
+  context.num_loaders = 8;
+  IngestOptions options;
+  options.master_policy = MasterPolicy::kVertexHash;
+  options.use_partitioner_master_preference = true;
+  IngestResult r = IngestWithStrategy(edges, StrategyKind::kHybrid, context,
+                                      cluster, options);
+  std::vector<uint64_t> in_degree(edges.num_vertices(), 0);
+  for (const graph::Edge& e : edges.edges()) ++in_degree[e.dst];
+  for (graph::VertexId v = 0; v < edges.num_vertices(); ++v) {
+    if (!r.graph.present[v] || in_degree[v] == 0 || in_degree[v] > 100) {
+      continue;
+    }
+    EXPECT_EQ(r.graph.in_edge_partitions.Count(v), 1u);
+    EXPECT_EQ(r.graph.master[v], r.graph.in_edge_partitions.First(v));
+  }
+  // Reassignment happened for the hubs.
+  EXPECT_GT(r.report.edges_moved, 0u);
+}
+
+}  // namespace
+}  // namespace gdp::partition

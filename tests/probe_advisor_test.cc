@@ -1,0 +1,96 @@
+// Tests for the measurement-based probe advisor and the extension
+// AppKinds in the harness.
+
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.h"
+#include "graph/generators.h"
+#include "harness/experiment.h"
+
+namespace gdp::advisor {
+namespace {
+
+using partition::StrategyKind;
+
+const std::vector<StrategyKind> kPowerGraphCandidates = {
+    StrategyKind::kRandom, StrategyKind::kGrid, StrategyKind::kOblivious,
+    StrategyKind::kHdrf};
+
+double FullRf(const graph::EdgeList& edges, StrategyKind strategy) {
+  harness::ExperimentSpec spec;
+  spec.strategy = strategy;
+  spec.num_machines = 9;
+  spec.seed = 0;
+  return harness::RunIngressOnly(edges, spec).replication_factor;
+}
+
+TEST(ProbeAdvisorTest, SamplePicksTheFullRunWinnerOnSocialGraph) {
+  graph::EdgeList social = graph::GenerateHeavyTailed(
+      {.num_vertices = 10000, .edges_per_vertex = 8, .seed = 71});
+  ProbeResult probe = ProbeStrategies(social, 9, kPowerGraphCandidates, 0.1);
+  StrategyKind full_best = kPowerGraphCandidates.front();
+  for (StrategyKind s : kPowerGraphCandidates) {
+    if (FullRf(social, s) < FullRf(social, full_best)) full_best = s;
+  }
+  EXPECT_EQ(probe.best, full_best);  // Grid on heavy-tailed graphs
+}
+
+TEST(ProbeAdvisorTest, SamplePicksGreedyOnRoadNetwork) {
+  graph::EdgeList road = graph::GenerateRoadNetwork(
+      {.width = 90, .height = 90, .seed = 72});
+  ProbeResult probe = ProbeStrategies(road, 9, kPowerGraphCandidates, 0.1);
+  EXPECT_TRUE(probe.best == StrategyKind::kHdrf ||
+              probe.best == StrategyKind::kOblivious);
+}
+
+TEST(ProbeAdvisorTest, RankingIsSortedAndComplete) {
+  graph::EdgeList web = graph::GeneratePowerLawWeb(
+      {.num_vertices = 8000, .seed = 73});
+  ProbeResult probe = ProbeStrategies(web, 9, kPowerGraphCandidates, 0.2);
+  ASSERT_EQ(probe.ranking.size(), kPowerGraphCandidates.size());
+  for (size_t i = 1; i < probe.ranking.size(); ++i) {
+    EXPECT_LE(probe.ranking[i - 1].second, probe.ranking[i].second);
+  }
+  EXPECT_EQ(probe.best, probe.ranking.front().first);
+}
+
+TEST(ProbeAdvisorTest, TinySampleFractionStillWorks) {
+  graph::EdgeList social = graph::GenerateHeavyTailed(
+      {.num_vertices = 3000, .edges_per_vertex = 6, .seed = 74});
+  ProbeResult probe =
+      ProbeStrategies(social, 9, {StrategyKind::kRandom}, 1e-9);
+  EXPECT_EQ(probe.best, StrategyKind::kRandom);  // degenerate: whole list
+}
+
+// ---------------------------------------------------------------------------
+// Extension AppKinds through the harness
+// ---------------------------------------------------------------------------
+
+TEST(ExtensionAppKindTest, AllExtensionAppsRunThroughHarness) {
+  graph::EdgeList edges = graph::GenerateHeavyTailed(
+      {.num_vertices = 500, .edges_per_vertex = 4, .seed = 75});
+  for (harness::AppKind app :
+       {harness::AppKind::kTriangles, harness::AppKind::kLabelPropagation,
+        harness::AppKind::kMsBfs}) {
+    harness::ExperimentSpec spec;
+    spec.num_machines = 4;
+    spec.app = app;
+    spec.max_iterations = 30;
+    harness::ExperimentResult r = harness::RunExperiment(edges, spec);
+    EXPECT_GT(r.compute.compute_seconds, 0.0)
+        << harness::AppKindName(app);
+    EXPECT_GT(r.compute.iterations, 0u) << harness::AppKindName(app);
+  }
+}
+
+TEST(ExtensionAppKindTest, NamesAreDistinct) {
+  EXPECT_STREQ(harness::AppKindName(harness::AppKind::kTriangles),
+               "Triangles");
+  EXPECT_STREQ(harness::AppKindName(harness::AppKind::kLabelPropagation),
+               "LabelProp");
+  EXPECT_STREQ(harness::AppKindName(harness::AppKind::kMsBfs), "MS-BFS");
+  EXPECT_FALSE(harness::IsNaturalApp(harness::AppKind::kTriangles));
+}
+
+}  // namespace
+}  // namespace gdp::advisor

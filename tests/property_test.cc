@@ -1,0 +1,159 @@
+// Property-style tests, parameterized over random seeds: the paper's key
+// orderings and the library's structural invariants must hold for *any*
+// seed, not just the ones the benches happen to use.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "harness/experiment.h"
+#include "partition/constrained.h"
+#include "partition/ingest.h"
+
+namespace gdp {
+namespace {
+
+using partition::StrategyKind;
+
+class SeedSweepTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static double Rf(const graph::EdgeList& edges, StrategyKind strategy,
+                   uint32_t machines = 9) {
+    harness::ExperimentSpec spec;
+    spec.strategy = strategy;
+    spec.num_machines = machines;
+    spec.seed = 1234;  // partitioning seed fixed; graph seed varies
+    return harness::RunIngressOnly(edges, spec).replication_factor;
+  }
+};
+
+TEST_P(SeedSweepTest, GridBeatsGreedyOnHeavyTailed) {
+  graph::EdgeList social = graph::GenerateHeavyTailed(
+      {.num_vertices = 6000, .edges_per_vertex = 8, .seed = GetParam()});
+  EXPECT_LT(Rf(social, StrategyKind::kGrid),
+            Rf(social, StrategyKind::kOblivious));
+  EXPECT_LT(Rf(social, StrategyKind::kGrid),
+            Rf(social, StrategyKind::kRandom));
+}
+
+TEST_P(SeedSweepTest, GreedyBeatsGridOnRoadNetworks) {
+  graph::EdgeList road = graph::GenerateRoadNetwork(
+      {.width = 60, .height = 60, .seed = GetParam()});
+  EXPECT_LT(Rf(road, StrategyKind::kHdrf), Rf(road, StrategyKind::kGrid));
+  EXPECT_LT(Rf(road, StrategyKind::kOblivious),
+            Rf(road, StrategyKind::kRandom));
+}
+
+TEST_P(SeedSweepTest, GreedyBeatsGridOnPowerLawWeb) {
+  graph::EdgeList web = graph::GeneratePowerLawWeb(
+      {.num_vertices = 9000, .seed = GetParam()});
+  EXPECT_LT(Rf(web, StrategyKind::kHdrf), Rf(web, StrategyKind::kGrid));
+  EXPECT_LT(Rf(web, StrategyKind::kOblivious),
+            Rf(web, StrategyKind::kGrid));
+}
+
+TEST_P(SeedSweepTest, AsymmetricRandomNeverBeatsRandom) {
+  graph::EdgeList social = graph::GenerateHeavyTailed(
+      {.num_vertices = 4000, .edges_per_vertex = 6, .seed = GetParam()});
+  EXPECT_GE(Rf(social, StrategyKind::kAsymmetricRandom),
+            Rf(social, StrategyKind::kRandom) - 1e-9);
+}
+
+TEST_P(SeedSweepTest, ClassifierIsStableAcrossSeeds) {
+  EXPECT_EQ(graph::ComputeGraphStats(
+                graph::GenerateRoadNetwork(
+                    {.width = 50, .height = 50, .seed = GetParam()}))
+                .classified,
+            graph::GraphClass::kLowDegree);
+  EXPECT_EQ(graph::ComputeGraphStats(
+                graph::GenerateHeavyTailed(
+                    {.num_vertices = 6000, .seed = GetParam()}))
+                .classified,
+            graph::GraphClass::kHeavyTailed);
+  EXPECT_EQ(graph::ComputeGraphStats(
+                graph::GeneratePowerLawWeb(
+                    {.num_vertices = 9000, .seed = GetParam()}))
+                .classified,
+            graph::GraphClass::kPowerLaw);
+}
+
+TEST_P(SeedSweepTest, GridBoundHoldsOnRealIngest) {
+  // 2*sqrt(N)-1 replication bound per vertex, verified on an actual
+  // ingested graph rather than synthetic probes.
+  graph::EdgeList social = graph::GenerateHeavyTailed(
+      {.num_vertices = 3000, .edges_per_vertex = 10, .seed = GetParam()});
+  sim::Cluster cluster(9, sim::CostModel{});
+  partition::PartitionContext context;
+  context.num_partitions = 9;
+  context.num_vertices = social.num_vertices();
+  context.num_loaders = 9;
+  partition::IngestResult r = partition::IngestWithStrategy(
+      social, StrategyKind::kGrid, context, cluster);
+  for (graph::VertexId v = 0; v < social.num_vertices(); ++v) {
+    if (!r.graph.present[v]) continue;
+    EXPECT_LE(r.graph.replicas.Count(v), 5u) << "vertex " << v;
+  }
+}
+
+TEST_P(SeedSweepTest, PdsBoundHoldsOnRealIngest) {
+  graph::EdgeList social = graph::GenerateHeavyTailed(
+      {.num_vertices = 3000, .edges_per_vertex = 10, .seed = GetParam()});
+  sim::Cluster cluster(13, sim::CostModel{});
+  partition::PartitionContext context;
+  context.num_partitions = 13;  // p = 3
+  context.num_vertices = social.num_vertices();
+  context.num_loaders = 13;
+  partition::IngestResult r = partition::IngestWithStrategy(
+      social, StrategyKind::kPds, context, cluster);
+  for (graph::VertexId v = 0; v < social.num_vertices(); ++v) {
+    if (!r.graph.present[v]) continue;
+    EXPECT_LE(r.graph.replicas.Count(v), 4u) << "vertex " << v;  // p + 1
+  }
+}
+
+TEST_P(SeedSweepTest, HybridLowDegreeInEdgesAlwaysColocated) {
+  graph::EdgeList web = graph::GeneratePowerLawWeb(
+      {.num_vertices = 4000, .seed = GetParam()});
+  sim::Cluster cluster(8, sim::CostModel{});
+  partition::PartitionContext context;
+  context.num_partitions = 8;
+  context.num_vertices = web.num_vertices();
+  context.num_loaders = 8;
+  partition::IngestResult r = partition::IngestWithStrategy(
+      web, StrategyKind::kHybrid, context, cluster);
+  std::vector<uint64_t> in_degree = web.InDegrees();
+  for (graph::VertexId v = 0; v < web.num_vertices(); ++v) {
+    if (in_degree[v] == 0 || in_degree[v] > 100) continue;
+    EXPECT_EQ(r.graph.in_edge_partitions.Count(v), 1u) << "vertex " << v;
+  }
+}
+
+TEST_P(SeedSweepTest, IngestConservesEdgesForEveryStrategy) {
+  graph::EdgeList graph = graph::GenerateErdosRenyi(
+      {.num_vertices = 700, .num_edges = 4000, .seed = GetParam()});
+  for (StrategyKind strategy : partition::AllStrategies()) {
+    uint32_t machines = strategy == StrategyKind::kPds ? 7 : 9;
+    sim::Cluster cluster(machines, sim::CostModel{});
+    partition::PartitionContext context;
+    context.num_partitions = machines;
+    context.num_vertices = graph.num_vertices();
+    context.num_loaders = machines;
+    partition::IngestResult r = partition::IngestWithStrategy(
+        graph, strategy, context, cluster);
+    uint64_t total = 0;
+    for (uint64_t c : r.graph.partition_edge_count) total += c;
+    EXPECT_EQ(total, graph.num_edges())
+        << partition::StrategyName(strategy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(11u, 223u, 4099u, 86243u),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed_" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace gdp

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "partition/replica_table.h"
+
+namespace gdp::partition {
+namespace {
+
+TEST(ReplicaTableTest, AddAndContains) {
+  ReplicaTable table(10, 8);
+  EXPECT_TRUE(table.Add(3, 5));
+  EXPECT_FALSE(table.Add(3, 5));  // already present
+  EXPECT_TRUE(table.Contains(3, 5));
+  EXPECT_FALSE(table.Contains(3, 4));
+  EXPECT_FALSE(table.Contains(2, 5));
+}
+
+TEST(ReplicaTableTest, CountAndFirst) {
+  ReplicaTable table(4, 16);
+  EXPECT_EQ(table.Count(0), 0u);
+  EXPECT_EQ(table.First(0), ReplicaTable::kInvalid);
+  table.Add(0, 9);
+  table.Add(0, 2);
+  table.Add(0, 14);
+  EXPECT_EQ(table.Count(0), 3u);
+  EXPECT_EQ(table.First(0), 2u);
+}
+
+TEST(ReplicaTableTest, MachinesAscending) {
+  ReplicaTable table(2, 32);
+  table.Add(1, 20);
+  table.Add(1, 3);
+  table.Add(1, 31);
+  std::vector<sim::MachineId> machines = table.Machines(1);
+  ASSERT_EQ(machines.size(), 3u);
+  EXPECT_EQ(machines[0], 3u);
+  EXPECT_EQ(machines[1], 20u);
+  EXPECT_EQ(machines[2], 31u);
+}
+
+TEST(ReplicaTableTest, SelectKth) {
+  ReplicaTable table(1, 64);
+  table.Add(0, 5);
+  table.Add(0, 17);
+  table.Add(0, 63);
+  EXPECT_EQ(table.Select(0, 0), 5u);
+  EXPECT_EQ(table.Select(0, 1), 17u);
+  EXPECT_EQ(table.Select(0, 2), 63u);
+}
+
+TEST(ReplicaTableTest, MoreThan64Machines) {
+  // GraphX-style partition counts cross the single-word boundary.
+  ReplicaTable table(3, 200);
+  table.Add(2, 0);
+  table.Add(2, 63);
+  table.Add(2, 64);
+  table.Add(2, 199);
+  EXPECT_EQ(table.Count(2), 4u);
+  EXPECT_TRUE(table.Contains(2, 64));
+  EXPECT_EQ(table.Select(2, 3), 199u);
+  std::vector<sim::MachineId> machines = table.Machines(2);
+  EXPECT_EQ(machines.back(), 199u);
+}
+
+TEST(ReplicaTableTest, ForEachVisitsAllAscending) {
+  ReplicaTable table(1, 130);
+  for (sim::MachineId m : {1u, 64u, 65u, 129u}) table.Add(0, m);
+  std::vector<sim::MachineId> seen;
+  table.ForEach(0, [&](sim::MachineId m) { seen.push_back(m); });
+  EXPECT_EQ(seen, (std::vector<sim::MachineId>{1, 64, 65, 129}));
+}
+
+TEST(ReplicaTableTest, AverageCountNonEmpty) {
+  ReplicaTable table(4, 8);
+  table.Add(0, 1);
+  table.Add(0, 2);
+  table.Add(2, 3);
+  // Vertices 1 and 3 have no replicas and are excluded.
+  EXPECT_DOUBLE_EQ(table.AverageCountNonEmpty(), 1.5);
+}
+
+TEST(ReplicaTableTest, AverageCountWithMask) {
+  ReplicaTable table(3, 8);
+  table.Add(0, 1);
+  table.Add(1, 1);
+  table.Add(1, 2);
+  std::vector<bool> counted{true, true, false};
+  EXPECT_DOUBLE_EQ(table.AverageCount(counted), 1.5);
+}
+
+TEST(ReplicaTableTest, ResetClears) {
+  ReplicaTable table(2, 8);
+  table.Add(0, 3);
+  table.Reset();
+  EXPECT_EQ(table.Count(0), 0u);
+}
+
+TEST(ReplicaTableTest, ApproxBytesScalesWithSize) {
+  ReplicaTable small(100, 8);
+  ReplicaTable big(100, 640);
+  EXPECT_GT(big.ApproxBytes(), small.ApproxBytes());
+}
+
+}  // namespace
+}  // namespace gdp::partition

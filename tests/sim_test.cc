@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+#include "sim/cost_model.h"
+#include "sim/timeline.h"
+
+namespace gdp::sim {
+namespace {
+
+TEST(CostModelTest, TransferAndWorkSeconds) {
+  CostModel model;
+  model.bandwidth_bytes_per_second = 100;
+  model.seconds_per_work = 2.0;
+  EXPECT_DOUBLE_EQ(model.TransferSeconds(50), 0.5);
+  EXPECT_DOUBLE_EQ(model.WorkSeconds(3), 6.0);
+}
+
+TEST(MachineTest, MemoryPeakTracking) {
+  Machine m;
+  m.Allocate(100);
+  m.Allocate(200);
+  m.Free(250);
+  EXPECT_EQ(m.memory_bytes(), 50u);
+  EXPECT_EQ(m.peak_memory_bytes(), 300u);
+}
+
+TEST(MachineTest, FreeClampsAtZero) {
+  Machine m;
+  m.Allocate(10);
+  m.Free(100);
+  EXPECT_EQ(m.memory_bytes(), 0u);
+}
+
+TEST(ClusterTest, EndPhaseAdvancesByMaxPlusBarrier) {
+  CostModel model;
+  model.seconds_per_work = 1.0;
+  model.barrier_latency_seconds = 0.5;
+  Cluster cluster(3, model);
+  cluster.machine(0).AddWork(1.0);
+  cluster.machine(1).AddWork(5.0);  // straggler
+  cluster.machine(2).AddWork(2.0);
+  double dt = cluster.EndPhase();
+  EXPECT_DOUBLE_EQ(dt, 5.5);
+  EXPECT_DOUBLE_EQ(cluster.now_seconds(), 5.5);
+}
+
+TEST(ClusterTest, EndPhaseAsyncAdvancesByMean) {
+  CostModel model;
+  model.seconds_per_work = 1.0;
+  model.barrier_latency_seconds = 0.5;
+  Cluster cluster(2, model);
+  cluster.machine(0).AddWork(2.0);
+  cluster.machine(1).AddWork(4.0);
+  double dt = cluster.EndPhaseAsync();
+  EXPECT_DOUBLE_EQ(dt, 3.0);  // mean, no barrier
+}
+
+TEST(ClusterTest, PhaseChargesResetBetweenPhases) {
+  CostModel model;
+  model.seconds_per_work = 1.0;
+  model.barrier_latency_seconds = 0;
+  Cluster cluster(1, model);
+  cluster.machine(0).AddWork(3.0);
+  cluster.EndPhase();
+  double dt = cluster.EndPhase();  // nothing charged this phase
+  EXPECT_DOUBLE_EQ(dt, 0.0);
+}
+
+TEST(ClusterTest, PhaseBytesContributeTransferTime) {
+  CostModel model;
+  model.bandwidth_bytes_per_second = 10;
+  model.barrier_latency_seconds = 0;
+  Cluster cluster(1, model);
+  cluster.machine(0).ChargePhaseBytes(20);
+  EXPECT_DOUBLE_EQ(cluster.EndPhase(), 2.0);
+  EXPECT_EQ(cluster.machine(0).bytes_sent(), 20u);
+}
+
+TEST(ClusterTest, BusySecondsAccumulatePerMachine) {
+  CostModel model;
+  model.seconds_per_work = 1.0;
+  model.barrier_latency_seconds = 0;
+  Cluster cluster(2, model);
+  cluster.machine(0).AddWork(1.0);
+  cluster.machine(1).AddWork(4.0);
+  cluster.EndPhase();
+  EXPECT_DOUBLE_EQ(cluster.machine(0).busy_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(cluster.machine(1).busy_seconds(), 4.0);
+}
+
+TEST(ClusterTest, CpuUtilizationReflectsImbalance) {
+  CostModel model;
+  model.seconds_per_work = 1.0;
+  model.barrier_latency_seconds = 0;
+  Cluster cluster(2, model);
+  cluster.machine(0).AddWork(1.0);
+  cluster.machine(1).AddWork(4.0);
+  cluster.EndPhase();
+  std::vector<double> utils = cluster.CpuUtilizations();
+  EXPECT_DOUBLE_EQ(utils[0], 0.25);  // idle while waiting at the barrier
+  EXPECT_DOUBLE_EQ(utils[1], 1.0);
+}
+
+TEST(ClusterTest, Aggregates) {
+  Cluster cluster(2, CostModel{});
+  cluster.machine(0).SendBytes(10);
+  cluster.machine(1).SendBytes(30);
+  cluster.machine(0).Allocate(100);
+  cluster.machine(1).Allocate(300);
+  EXPECT_EQ(cluster.TotalBytesSent(), 40u);
+  EXPECT_EQ(cluster.TotalMemoryBytes(), 400u);
+  EXPECT_EQ(cluster.MaxPeakMemoryBytes(), 300u);
+  EXPECT_DOUBLE_EQ(cluster.MeanPeakMemoryBytes(), 200.0);
+}
+
+TEST(TimelineTest, SamplesTrackClockAndMemory) {
+  Cluster cluster(2, CostModel{});
+  Timeline timeline;
+  cluster.machine(0).Allocate(100);
+  timeline.Sample(cluster);
+  cluster.machine(1).Allocate(300);
+  cluster.AdvanceSeconds(5);
+  timeline.Sample(cluster);
+  ASSERT_EQ(timeline.samples().size(), 2u);
+  EXPECT_DOUBLE_EQ(timeline.samples()[0].mean_memory_bytes, 50.0);
+  EXPECT_DOUBLE_EQ(timeline.samples()[1].mean_memory_bytes, 200.0);
+  EXPECT_DOUBLE_EQ(timeline.samples()[1].time_seconds, 5.0);
+}
+
+TEST(TimelineTest, MarksAndPeak) {
+  Cluster cluster(1, CostModel{});
+  Timeline timeline;
+  cluster.machine(0).Allocate(500);
+  timeline.Sample(cluster);
+  cluster.AdvanceSeconds(1);
+  timeline.Mark(cluster, "ingress-end");
+  cluster.machine(0).Free(400);
+  cluster.AdvanceSeconds(1);
+  timeline.Sample(cluster);
+  EXPECT_DOUBLE_EQ(timeline.MarkTime("ingress-end"), 1.0);
+  EXPECT_DOUBLE_EQ(timeline.MarkTime("nope"), -1.0);
+  EXPECT_DOUBLE_EQ(timeline.PeakMeanMemory(), 500.0);
+  EXPECT_DOUBLE_EQ(timeline.PeakMeanMemoryTime(), 0.0);
+}
+
+}  // namespace
+}  // namespace gdp::sim

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table.h"
+
+namespace gdp::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// hash
+// ---------------------------------------------------------------------------
+
+TEST(HashTest, Mix64IsDeterministic) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+}
+
+TEST(HashTest, Mix64AvalanchesLowBits) {
+  // Consecutive inputs must not map to consecutive outputs.
+  std::set<uint64_t> low_bits;
+  for (uint64_t i = 0; i < 64; ++i) low_bits.insert(Mix64(i) % 64);
+  EXPECT_GT(low_bits.size(), 32u);
+}
+
+TEST(HashTest, CanonicalEdgeHashIgnoresDirection) {
+  EXPECT_EQ(HashCanonicalEdge(3, 9), HashCanonicalEdge(9, 3));
+  EXPECT_EQ(HashCanonicalEdge(0, 0), HashCanonicalEdge(0, 0));
+}
+
+TEST(HashTest, DirectedEdgeHashIsDirectionSensitive) {
+  EXPECT_NE(HashDirectedEdge(3, 9), HashDirectedEdge(9, 3));
+}
+
+TEST(HashTest, DistinctEdgesUsuallyHashDifferently) {
+  std::set<uint64_t> hashes;
+  for (uint64_t u = 0; u < 50; ++u) {
+    for (uint64_t v = u + 1; v < 50; ++v) {
+      hashes.insert(HashCanonicalEdge(u, v));
+    }
+  }
+  EXPECT_EQ(hashes.size(), 50u * 49 / 2);  // no collisions at this scale
+}
+
+// ---------------------------------------------------------------------------
+// random
+// ---------------------------------------------------------------------------
+
+TEST(RandomTest, SameSeedSameSequence) {
+  SplitMix64 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  SplitMix64 a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.Next() == b.Next();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RandomTest, NextBoundedStaysInRange) {
+  SplitMix64 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RandomTest, NextBoundedCoversRange) {
+  SplitMix64 rng(2);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RandomTest, NextDoubleMeanIsHalf) {
+  SplitMix64 rng(4);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RandomTest, ShuffleIsAPermutation) {
+  SplitMix64 rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  Shuffle(v, rng);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  ZipfSampler zipf(100, 1.5);
+  SplitMix64 rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t s = zipf.Sample(rng);
+    EXPECT_GE(s, 1u);
+    EXPECT_LE(s, 100u);
+  }
+}
+
+TEST(ZipfTest, RankOneIsMostFrequent) {
+  ZipfSampler zipf(1000, 1.2);
+  SplitMix64 rng(7);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  int max_count = 0;
+  uint64_t argmax = 0;
+  for (auto& [rank, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      argmax = rank;
+    }
+  }
+  EXPECT_EQ(argmax, 1u);
+}
+
+TEST(ZipfTest, FrequencyRatioTracksExponent) {
+  // P(1)/P(2) should be about 2^alpha.
+  const double alpha = 2.0;
+  ZipfSampler zipf(1000, alpha);
+  SplitMix64 rng(8);
+  int c1 = 0, c2 = 0;
+  for (int i = 0; i < 200000; ++i) {
+    uint64_t s = zipf.Sample(rng);
+    if (s == 1) ++c1;
+    if (s == 2) ++c2;
+  }
+  ASSERT_GT(c2, 0);
+  EXPECT_NEAR(static_cast<double>(c1) / c2, std::pow(2.0, alpha), 0.5);
+}
+
+TEST(ZipfTest, SingleElementDomain) {
+  ZipfSampler zipf(1, 1.5);
+  SplitMix64 rng(9);
+  EXPECT_EQ(zipf.Sample(rng), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// stats
+// ---------------------------------------------------------------------------
+
+TEST(StatsTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0);
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(StdDev({5}), 0);
+}
+
+TEST(StatsTest, PercentileEndpointsAndMedian) {
+  std::vector<double> xs{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 5);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 3);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(Percentile({0, 10}, 25), 2.5);
+}
+
+TEST(StatsTest, BoxStatsOrdering) {
+  BoxStats box = ComputeBoxStats({9, 1, 5, 3, 7});
+  EXPECT_LE(box.min, box.p25);
+  EXPECT_LE(box.p25, box.median);
+  EXPECT_LE(box.median, box.p75);
+  EXPECT_LE(box.p75, box.max);
+  EXPECT_DOUBLE_EQ(box.min, 1);
+  EXPECT_DOUBLE_EQ(box.max, 9);
+}
+
+TEST(StatsTest, FitLineRecoversExactLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + 2.0);
+  }
+  LinearFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(StatsTest, FitLineR2DropsWithNoise) {
+  std::vector<double> xs{0, 1, 2, 3, 4, 5};
+  std::vector<double> ys{0, 5, 1, 6, 2, 7};  // weak trend
+  LinearFit fit = FitLine(xs, ys);
+  EXPECT_LT(fit.r2, 0.9);
+  EXPECT_GT(fit.r2, 0.0);
+}
+
+TEST(StatsTest, FitLineDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(FitLine({}, {}).slope, 0);
+  EXPECT_DOUBLE_EQ(FitLine({1}, {2}).slope, 0);
+  // Vertical line: undefined slope -> zero fit rather than NaN.
+  LinearFit fit = FitLine({2, 2, 2}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(fit.slope, 0);
+}
+
+TEST(StatsTest, CountHistogram) {
+  auto hist = CountHistogram({1, 1, 2, 5, 5, 5});
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 1u);
+  EXPECT_EQ(hist[5], 3u);
+  EXPECT_EQ(hist.size(), 3u);
+}
+
+TEST(StatsTest, FitPowerLawRecoversExponent) {
+  // counts = 1e6 * d^-2.
+  std::map<uint64_t, uint64_t> hist;
+  for (uint64_t d = 1; d <= 100; ++d) {
+    hist[d] = static_cast<uint64_t>(1e6 / (d * d));
+  }
+  LinearFit fit = FitPowerLaw(hist);
+  EXPECT_NEAR(-fit.slope, 2.0, 0.05);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+// ---------------------------------------------------------------------------
+// status
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(StatusTest, StatusOrValuePath) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusTest, StatusOrErrorPath) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// table
+// ---------------------------------------------------------------------------
+
+TEST(TableTest, AsciiContainsHeaderAndCells) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::string out = t.ToAscii();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(TableTest, RowsPaddedToHeaderWidth) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only-one"});
+  EXPECT_EQ(t.rows()[0].size(), 3u);
+}
+
+TEST(TableTest, CsvEscapesQuotesAndCommas) {
+  Table t({"x"});
+  t.AddRow({"va\"l,ue"});
+  EXPECT_NE(t.ToCsv().find("\"va\"\"l,ue\""), std::string::npos);
+}
+
+TEST(TableTest, MarkdownHasSeparatorRow) {
+  Table t({"h1", "h2"});
+  t.AddRow({"a", "b"});
+  EXPECT_NE(t.ToMarkdown().find("---|"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace gdp::util
