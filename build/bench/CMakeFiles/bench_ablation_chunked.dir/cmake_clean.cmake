@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_chunked.dir/bench_ablation_chunked.cc.o"
+  "CMakeFiles/bench_ablation_chunked.dir/bench_ablation_chunked.cc.o.d"
+  "bench_ablation_chunked"
+  "bench_ablation_chunked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chunked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dbh.dir/bench_ablation_dbh.cc.o"
+  "CMakeFiles/bench_ablation_dbh.dir/bench_ablation_dbh.cc.o.d"
+  "bench_ablation_dbh"
+  "bench_ablation_dbh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dbh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

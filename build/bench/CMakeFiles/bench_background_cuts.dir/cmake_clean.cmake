@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_background_cuts.dir/bench_background_cuts.cc.o"
+  "CMakeFiles/bench_background_cuts.dir/bench_background_cuts.cc.o.d"
+  "bench_background_cuts"
+  "bench_background_cuts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_background_cuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decision_trees.dir/bench_decision_trees.cc.o"
+  "CMakeFiles/bench_decision_trees.dir/bench_decision_trees.cc.o.d"
+  "bench_decision_trees"
+  "bench_decision_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decision_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

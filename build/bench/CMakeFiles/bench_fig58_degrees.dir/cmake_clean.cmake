@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig58_degrees.dir/bench_fig58_degrees.cc.o"
+  "CMakeFiles/bench_fig58_degrees.dir/bench_fig58_degrees.cc.o.d"
+  "bench_fig58_degrees"
+  "bench_fig58_degrees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig58_degrees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_rf_linearity.dir/bench_fig5_rf_linearity.cc.o"
+  "CMakeFiles/bench_fig5_rf_linearity.dir/bench_fig5_rf_linearity.cc.o.d"
+  "bench_fig5_rf_linearity"
+  "bench_fig5_rf_linearity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_rf_linearity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig64_65_powerlyra.dir/bench_fig64_65_powerlyra.cc.o"
+  "CMakeFiles/bench_fig64_65_powerlyra.dir/bench_fig64_65_powerlyra.cc.o.d"
+  "bench_fig64_65_powerlyra"
+  "bench_fig64_65_powerlyra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig64_65_powerlyra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig71_graphx.dir/bench_fig71_graphx.cc.o"
+  "CMakeFiles/bench_fig71_graphx.dir/bench_fig71_graphx.cc.o.d"
+  "bench_fig71_graphx"
+  "bench_fig71_graphx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig71_graphx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

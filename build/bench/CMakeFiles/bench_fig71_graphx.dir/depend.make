@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig71_graphx.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig83_1d_target.dir/bench_fig83_1d_target.cc.o"
+  "CMakeFiles/bench_fig83_1d_target.dir/bench_fig83_1d_target.cc.o.d"
+  "bench_fig83_1d_target"
+  "bench_fig83_1d_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig83_1d_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig83_1d_target.
+# This may be replaced when dependencies are built.

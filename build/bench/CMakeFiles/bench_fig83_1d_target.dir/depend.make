@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig83_1d_target.
+# This may be replaced when dependencies are built.

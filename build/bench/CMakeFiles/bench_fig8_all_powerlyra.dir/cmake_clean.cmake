@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_all_powerlyra.dir/bench_fig8_all_powerlyra.cc.o"
+  "CMakeFiles/bench_fig8_all_powerlyra.dir/bench_fig8_all_powerlyra.cc.o.d"
+  "bench_fig8_all_powerlyra"
+  "bench_fig8_all_powerlyra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_all_powerlyra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_advisor.dir/advisor.cc.o"
+  "CMakeFiles/gdp_advisor.dir/advisor.cc.o.d"
+  "libgdp_advisor.a"
+  "libgdp_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

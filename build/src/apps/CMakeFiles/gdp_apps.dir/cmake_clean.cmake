@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_apps.dir/kcore.cc.o"
+  "CMakeFiles/gdp_apps.dir/kcore.cc.o.d"
+  "CMakeFiles/gdp_apps.dir/reference.cc.o"
+  "CMakeFiles/gdp_apps.dir/reference.cc.o.d"
+  "CMakeFiles/gdp_apps.dir/triangle_count.cc.o"
+  "CMakeFiles/gdp_apps.dir/triangle_count.cc.o.d"
+  "libgdp_apps.a"
+  "libgdp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

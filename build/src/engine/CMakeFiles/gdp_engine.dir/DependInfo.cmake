@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/async_coloring.cc" "src/engine/CMakeFiles/gdp_engine.dir/async_coloring.cc.o" "gcc" "src/engine/CMakeFiles/gdp_engine.dir/async_coloring.cc.o.d"
+  "/root/repo/src/engine/edge_cut.cc" "src/engine/CMakeFiles/gdp_engine.dir/edge_cut.cc.o" "gcc" "src/engine/CMakeFiles/gdp_engine.dir/edge_cut.cc.o.d"
+  "/root/repo/src/engine/gas_engine.cc" "src/engine/CMakeFiles/gdp_engine.dir/gas_engine.cc.o" "gcc" "src/engine/CMakeFiles/gdp_engine.dir/gas_engine.cc.o.d"
+  "/root/repo/src/engine/graphx_memory.cc" "src/engine/CMakeFiles/gdp_engine.dir/graphx_memory.cc.o" "gcc" "src/engine/CMakeFiles/gdp_engine.dir/graphx_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/gdp_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gdp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gdp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

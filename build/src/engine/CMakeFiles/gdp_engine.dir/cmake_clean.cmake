@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_engine.dir/async_coloring.cc.o"
+  "CMakeFiles/gdp_engine.dir/async_coloring.cc.o.d"
+  "CMakeFiles/gdp_engine.dir/edge_cut.cc.o"
+  "CMakeFiles/gdp_engine.dir/edge_cut.cc.o.d"
+  "CMakeFiles/gdp_engine.dir/gas_engine.cc.o"
+  "CMakeFiles/gdp_engine.dir/gas_engine.cc.o.d"
+  "CMakeFiles/gdp_engine.dir/graphx_memory.cc.o"
+  "CMakeFiles/gdp_engine.dir/graphx_memory.cc.o.d"
+  "libgdp_engine.a"
+  "libgdp_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cc" "src/graph/CMakeFiles/gdp_graph.dir/csr.cc.o" "gcc" "src/graph/CMakeFiles/gdp_graph.dir/csr.cc.o.d"
+  "/root/repo/src/graph/edge_list.cc" "src/graph/CMakeFiles/gdp_graph.dir/edge_list.cc.o" "gcc" "src/graph/CMakeFiles/gdp_graph.dir/edge_list.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/gdp_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/gdp_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/graph/CMakeFiles/gdp_graph.dir/graph_stats.cc.o" "gcc" "src/graph/CMakeFiles/gdp_graph.dir/graph_stats.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/gdp_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/gdp_graph.dir/io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gdp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_graph.dir/csr.cc.o"
+  "CMakeFiles/gdp_graph.dir/csr.cc.o.d"
+  "CMakeFiles/gdp_graph.dir/edge_list.cc.o"
+  "CMakeFiles/gdp_graph.dir/edge_list.cc.o.d"
+  "CMakeFiles/gdp_graph.dir/generators.cc.o"
+  "CMakeFiles/gdp_graph.dir/generators.cc.o.d"
+  "CMakeFiles/gdp_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/gdp_graph.dir/graph_stats.cc.o.d"
+  "CMakeFiles/gdp_graph.dir/io.cc.o"
+  "CMakeFiles/gdp_graph.dir/io.cc.o.d"
+  "libgdp_graph.a"
+  "libgdp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_harness.dir/experiment.cc.o"
+  "CMakeFiles/gdp_harness.dir/experiment.cc.o.d"
+  "libgdp_harness.a"
+  "libgdp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/chunked.cc" "src/partition/CMakeFiles/gdp_partition.dir/chunked.cc.o" "gcc" "src/partition/CMakeFiles/gdp_partition.dir/chunked.cc.o.d"
+  "/root/repo/src/partition/constrained.cc" "src/partition/CMakeFiles/gdp_partition.dir/constrained.cc.o" "gcc" "src/partition/CMakeFiles/gdp_partition.dir/constrained.cc.o.d"
+  "/root/repo/src/partition/distributed_graph.cc" "src/partition/CMakeFiles/gdp_partition.dir/distributed_graph.cc.o" "gcc" "src/partition/CMakeFiles/gdp_partition.dir/distributed_graph.cc.o.d"
+  "/root/repo/src/partition/greedy.cc" "src/partition/CMakeFiles/gdp_partition.dir/greedy.cc.o" "gcc" "src/partition/CMakeFiles/gdp_partition.dir/greedy.cc.o.d"
+  "/root/repo/src/partition/hash_partitioners.cc" "src/partition/CMakeFiles/gdp_partition.dir/hash_partitioners.cc.o" "gcc" "src/partition/CMakeFiles/gdp_partition.dir/hash_partitioners.cc.o.d"
+  "/root/repo/src/partition/hybrid.cc" "src/partition/CMakeFiles/gdp_partition.dir/hybrid.cc.o" "gcc" "src/partition/CMakeFiles/gdp_partition.dir/hybrid.cc.o.d"
+  "/root/repo/src/partition/ingest.cc" "src/partition/CMakeFiles/gdp_partition.dir/ingest.cc.o" "gcc" "src/partition/CMakeFiles/gdp_partition.dir/ingest.cc.o.d"
+  "/root/repo/src/partition/partitioner.cc" "src/partition/CMakeFiles/gdp_partition.dir/partitioner.cc.o" "gcc" "src/partition/CMakeFiles/gdp_partition.dir/partitioner.cc.o.d"
+  "/root/repo/src/partition/placement_io.cc" "src/partition/CMakeFiles/gdp_partition.dir/placement_io.cc.o" "gcc" "src/partition/CMakeFiles/gdp_partition.dir/placement_io.cc.o.d"
+  "/root/repo/src/partition/replica_table.cc" "src/partition/CMakeFiles/gdp_partition.dir/replica_table.cc.o" "gcc" "src/partition/CMakeFiles/gdp_partition.dir/replica_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gdp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gdp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_partition.dir/chunked.cc.o"
+  "CMakeFiles/gdp_partition.dir/chunked.cc.o.d"
+  "CMakeFiles/gdp_partition.dir/constrained.cc.o"
+  "CMakeFiles/gdp_partition.dir/constrained.cc.o.d"
+  "CMakeFiles/gdp_partition.dir/distributed_graph.cc.o"
+  "CMakeFiles/gdp_partition.dir/distributed_graph.cc.o.d"
+  "CMakeFiles/gdp_partition.dir/greedy.cc.o"
+  "CMakeFiles/gdp_partition.dir/greedy.cc.o.d"
+  "CMakeFiles/gdp_partition.dir/hash_partitioners.cc.o"
+  "CMakeFiles/gdp_partition.dir/hash_partitioners.cc.o.d"
+  "CMakeFiles/gdp_partition.dir/hybrid.cc.o"
+  "CMakeFiles/gdp_partition.dir/hybrid.cc.o.d"
+  "CMakeFiles/gdp_partition.dir/ingest.cc.o"
+  "CMakeFiles/gdp_partition.dir/ingest.cc.o.d"
+  "CMakeFiles/gdp_partition.dir/partitioner.cc.o"
+  "CMakeFiles/gdp_partition.dir/partitioner.cc.o.d"
+  "CMakeFiles/gdp_partition.dir/placement_io.cc.o"
+  "CMakeFiles/gdp_partition.dir/placement_io.cc.o.d"
+  "CMakeFiles/gdp_partition.dir/replica_table.cc.o"
+  "CMakeFiles/gdp_partition.dir/replica_table.cc.o.d"
+  "libgdp_partition.a"
+  "libgdp_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_sim.dir/cluster.cc.o"
+  "CMakeFiles/gdp_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/gdp_sim.dir/timeline.cc.o"
+  "CMakeFiles/gdp_sim.dir/timeline.cc.o.d"
+  "libgdp_sim.a"
+  "libgdp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

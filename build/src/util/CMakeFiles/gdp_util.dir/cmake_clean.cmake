@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_util.dir/logging.cc.o"
+  "CMakeFiles/gdp_util.dir/logging.cc.o.d"
+  "CMakeFiles/gdp_util.dir/random.cc.o"
+  "CMakeFiles/gdp_util.dir/random.cc.o.d"
+  "CMakeFiles/gdp_util.dir/stats.cc.o"
+  "CMakeFiles/gdp_util.dir/stats.cc.o.d"
+  "CMakeFiles/gdp_util.dir/status.cc.o"
+  "CMakeFiles/gdp_util.dir/status.cc.o.d"
+  "CMakeFiles/gdp_util.dir/table.cc.o"
+  "CMakeFiles/gdp_util.dir/table.cc.o.d"
+  "libgdp_util.a"
+  "libgdp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

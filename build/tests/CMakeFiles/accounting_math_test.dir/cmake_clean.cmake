@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accounting_math_test.dir/accounting_math_test.cc.o"
+  "CMakeFiles/accounting_math_test.dir/accounting_math_test.cc.o.d"
+  "accounting_math_test"
+  "accounting_math_test.pdb"
+  "accounting_math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accounting_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

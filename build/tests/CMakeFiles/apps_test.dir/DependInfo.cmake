@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cc" "tests/CMakeFiles/apps_test.dir/apps_test.cc.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gdp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/advisor/CMakeFiles/gdp_advisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/gdp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/gdp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/gdp_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gdp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gdp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

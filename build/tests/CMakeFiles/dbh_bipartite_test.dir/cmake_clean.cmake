@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbh_bipartite_test.dir/dbh_bipartite_test.cc.o"
+  "CMakeFiles/dbh_bipartite_test.dir/dbh_bipartite_test.cc.o.d"
+  "dbh_bipartite_test"
+  "dbh_bipartite_test.pdb"
+  "dbh_bipartite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbh_bipartite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

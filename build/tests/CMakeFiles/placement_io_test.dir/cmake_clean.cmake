@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_io_test.dir/placement_io_test.cc.o"
+  "CMakeFiles/placement_io_test.dir/placement_io_test.cc.o.d"
+  "placement_io_test"
+  "placement_io_test.pdb"
+  "placement_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_advisor_test.dir/probe_advisor_test.cc.o"
+  "CMakeFiles/probe_advisor_test.dir/probe_advisor_test.cc.o.d"
+  "probe_advisor_test"
+  "probe_advisor_test.pdb"
+  "probe_advisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_table_test.dir/replica_table_test.cc.o"
+  "CMakeFiles/replica_table_test.dir/replica_table_test.cc.o.d"
+  "replica_table_test"
+  "replica_table_test.pdb"
+  "replica_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

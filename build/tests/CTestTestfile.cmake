@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/accounting_math_test[1]_include.cmake")
+include("/root/repo/build/tests/advisor_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/async_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/chunked_test[1]_include.cmake")
+include("/root/repo/build/tests/dbh_bipartite_test[1]_include.cmake")
+include("/root/repo/build/tests/constrained_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cut_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/extra_apps_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/greedy_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/hybrid_test[1]_include.cmake")
+include("/root/repo/build/tests/ingest_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/partitioner_test[1]_include.cmake")
+include("/root/repo/build/tests/placement_io_test[1]_include.cmake")
+include("/root/repo/build/tests/probe_advisor_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/replica_table_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_advise.dir/gdp_advise.cc.o"
+  "CMakeFiles/gdp_advise.dir/gdp_advise.cc.o.d"
+  "gdp_advise"
+  "gdp_advise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_advise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

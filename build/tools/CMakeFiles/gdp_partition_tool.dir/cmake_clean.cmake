@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_partition_tool.dir/gdp_partition_tool.cc.o"
+  "CMakeFiles/gdp_partition_tool.dir/gdp_partition_tool.cc.o.d"
+  "gdp_partition_tool"
+  "gdp_partition_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_partition_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_run.dir/gdp_run.cc.o"
+  "CMakeFiles/gdp_run.dir/gdp_run.cc.o.d"
+  "gdp_run"
+  "gdp_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
