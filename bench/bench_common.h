@@ -75,8 +75,8 @@ inline Datasets MakeDatasets(double scale = 1.0) {
 namespace internal {
 /// Slug of the current bench (set by PrintHeader) for CSV export.
 inline std::string& CsvSlug() {
-  static std::string* slug = new std::string();
-  return *slug;
+  static std::string slug;
+  return slug;
 }
 }  // namespace internal
 

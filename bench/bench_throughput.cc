@@ -21,9 +21,9 @@ using gdp::partition::Partitioner;
 using gdp::partition::StrategyKind;
 
 const EdgeList& BenchGraph() {
-  static const EdgeList* graph = new EdgeList(gdp::graph::GenerateHeavyTailed(
+  static const EdgeList graph(gdp::graph::GenerateHeavyTailed(
       {.num_vertices = 50000, .edges_per_vertex = 8, .seed = 0xBE}));
-  return *graph;
+  return graph;
 }
 
 void RunStrategy(benchmark::State& state, StrategyKind kind,

@@ -10,7 +10,7 @@
 #include "engine/run_stats.h"
 #include "partition/distributed_graph.h"
 #include "sim/cluster.h"
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace gdp::engine {
 

@@ -5,7 +5,7 @@
 
 #include "partition/ingest.h"
 #include "util/hash.h"
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace gdp::engine {
 

@@ -8,8 +8,9 @@
 #include "engine/gas_app.h"
 #include "engine/run_stats.h"
 #include "partition/distributed_graph.h"
+#include "partition/validate.h"
 #include "sim/cluster.h"
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace gdp::engine {
 
@@ -104,6 +105,9 @@ GasRunResult<App> RunGasEngine(EngineKind kind,
 
   GDP_CHECK_EQ(cluster.num_machines(), dg.num_machines);
   GDP_CHECK_LE(dg.num_machines, 64u);
+  // Debug builds re-verify the placement/replica invariants every run; the
+  // engines' message accounting silently miscounts on a corrupt structure.
+  GDP_DCHECK_OK(partition::ValidateDistributedGraph(dg));
   const graph::VertexId n = dg.num_vertices;
   const sim::ObjectSizes sizes;
   const double work_mul = options.work_multiplier;

@@ -5,7 +5,7 @@
 
 #include "sim/cost_model.h"
 #include "util/hash.h"
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace gdp::engine {
 

@@ -31,6 +31,12 @@ class Csr {
 
   uint64_t Degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
 
+  /// Raw structure accessors for validators and serializers. offsets() has
+  /// num_vertices()+1 entries (or none for a default-constructed Csr) and
+  /// must be monotone with offsets().back() == adjacency().size().
+  std::span<const uint64_t> offsets() const { return offsets_; }
+  std::span<const VertexId> adjacency() const { return adjacency_; }
+
  private:
   std::vector<uint64_t> offsets_;
   std::vector<VertexId> adjacency_;

@@ -4,7 +4,7 @@
 #include <numeric>
 #include <unordered_set>
 
-#include "util/logging.h"
+#include "util/check.h"
 #include "util/random.h"
 
 namespace gdp::graph {

@@ -9,7 +9,8 @@
 #include "apps/triangle_count.h"
 #include "apps/wcc.h"
 #include "engine/async_coloring.h"
-#include "util/logging.h"
+#include "partition/validate.h"
+#include "util/check.h"
 
 namespace gdp::harness {
 
@@ -207,6 +208,7 @@ ExperimentResult RunExperiment(const graph::EdgeList& edges,
 
   partition::IngestResult ingest = partition::IngestWithStrategy(
       edges, spec.strategy, context, cluster, IngestOptionsFor(spec, timeline));
+  GDP_DCHECK_OK(partition::ValidateDistributedGraph(ingest.graph));
   result.ingress = ingest.report;
   result.replication_factor = ingest.report.replication_factor;
   result.edge_balance_ratio = ingest.report.edge_balance_ratio;
@@ -237,6 +239,7 @@ ExperimentResult RunIngressOnly(const graph::EdgeList& edges,
 
   partition::IngestResult ingest = partition::IngestWithStrategy(
       edges, spec.strategy, context, cluster, IngestOptionsFor(spec, timeline));
+  GDP_DCHECK_OK(partition::ValidateDistributedGraph(ingest.graph));
   result.ingress = ingest.report;
   result.replication_factor = ingest.report.replication_factor;
   result.edge_balance_ratio = ingest.report.edge_balance_ratio;

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "util/hash.h"
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace gdp::partition {
 

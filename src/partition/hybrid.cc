@@ -3,7 +3,7 @@
 #include <limits>
 
 #include "util/hash.h"
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace gdp::partition {
 

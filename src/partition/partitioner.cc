@@ -5,12 +5,12 @@
 #include "partition/hash_partitioners.h"
 #include "partition/chunked.h"
 #include "partition/hybrid.h"
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace gdp::partition {
 
 const std::vector<StrategyKind>& AllStrategies() {
-  static const std::vector<StrategyKind>* kAll = new std::vector<StrategyKind>{
+  static const std::vector<StrategyKind> kAll{
       StrategyKind::kOneD,      StrategyKind::kOneDTarget,
       StrategyKind::kTwoD,      StrategyKind::kAsymmetricRandom,
       StrategyKind::kGrid,      StrategyKind::kPds,
@@ -18,7 +18,7 @@ const std::vector<StrategyKind>& AllStrategies() {
       StrategyKind::kHybridGinger, StrategyKind::kOblivious,
       StrategyKind::kRandom,
   };
-  return *kAll;
+  return kAll;
 }
 
 const char* StrategyName(StrategyKind kind) {

@@ -2,7 +2,7 @@
 
 #include <bit>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace gdp::partition {
 

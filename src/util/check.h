@@ -1,0 +1,76 @@
+#ifndef GDP_UTIL_CHECK_H_
+#define GDP_UTIL_CHECK_H_
+
+#include <ostream>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace gdp::util::internal {
+
+/// Turns the streaming arm of a check ternary into void so both arms have
+/// the same type. `&` binds looser than `<<`, so the whole message chain is
+/// built before being voidified (the LAZY_STREAM idiom).
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace gdp::util::internal
+
+/// Invariant check: aborts with file:line, the failed condition, and any
+/// streamed message when `cond` is false. Always on — the simulator's
+/// correctness guarantees lean on these.
+///
+///   GDP_CHECK(offsets[v] <= offsets[v + 1]) << "v=" << v;
+#define GDP_CHECK(cond)                                                 \
+  (cond) ? (void)0                                                      \
+         : ::gdp::util::internal::Voidify() &                           \
+               ::gdp::util::internal::FatalLogMessage(__FILE__,         \
+                                                      __LINE__, #cond)  \
+                   .stream()
+
+#define GDP_CHECK_EQ(a, b) GDP_CHECK((a) == (b))
+#define GDP_CHECK_NE(a, b) GDP_CHECK((a) != (b))
+#define GDP_CHECK_LT(a, b) GDP_CHECK((a) < (b))
+#define GDP_CHECK_LE(a, b) GDP_CHECK((a) <= (b))
+#define GDP_CHECK_GT(a, b) GDP_CHECK((a) > (b))
+#define GDP_CHECK_GE(a, b) GDP_CHECK((a) >= (b))
+
+/// Aborts with the status message when `expr` is a non-ok Status.
+#define GDP_CHECK_OK(expr)                                             \
+  do {                                                                 \
+    const ::gdp::util::Status gdp_check_ok_status_ = (expr);           \
+    GDP_CHECK(gdp_check_ok_status_.ok())                               \
+        << gdp_check_ok_status_.ToString();                            \
+  } while (false)
+
+/// Debug-only checks: identical to GDP_CHECK in debug builds; in NDEBUG
+/// builds the condition is type-checked but never evaluated (no unused
+/// warnings, no runtime cost). Use for per-edge/per-vertex assertions in
+/// hot loops and for the structural validators (partition/validate.h).
+#ifndef NDEBUG
+#define GDP_DCHECK(cond) GDP_CHECK(cond)
+#define GDP_DCHECK_OK(expr) GDP_CHECK_OK(expr)
+#else
+#define GDP_DCHECK(cond)                                                \
+  (true || (cond)) ? (void)0                                            \
+                   : ::gdp::util::internal::Voidify() &                 \
+                         ::gdp::util::internal::FatalLogMessage(        \
+                             __FILE__, __LINE__, #cond)                 \
+                             .stream()
+#define GDP_DCHECK_OK(expr) \
+  do {                      \
+    if (false) {            \
+      GDP_CHECK_OK(expr);   \
+    }                       \
+  } while (false)
+#endif
+
+#define GDP_DCHECK_EQ(a, b) GDP_DCHECK((a) == (b))
+#define GDP_DCHECK_NE(a, b) GDP_DCHECK((a) != (b))
+#define GDP_DCHECK_LT(a, b) GDP_DCHECK((a) < (b))
+#define GDP_DCHECK_LE(a, b) GDP_DCHECK((a) <= (b))
+#define GDP_DCHECK_GT(a, b) GDP_DCHECK((a) > (b))
+#define GDP_DCHECK_GE(a, b) GDP_DCHECK((a) >= (b))
+
+#endif  // GDP_UTIL_CHECK_H_

@@ -63,20 +63,6 @@ struct NullStream {
                                     __FILE__, __LINE__)               \
       .stream()
 
-/// Invariant check: aborts with message when `cond` is false. Always on —
-/// the simulator's correctness guarantees lean on these.
-#define GDP_CHECK(cond)                                             \
-  (cond) ? (void)0                                                  \
-         : (void)::gdp::util::internal::FatalLogMessage(__FILE__,   \
-                                                        __LINE__,   \
-                                                        #cond)      \
-               .stream()
-
-#define GDP_CHECK_EQ(a, b) GDP_CHECK((a) == (b))
-#define GDP_CHECK_NE(a, b) GDP_CHECK((a) != (b))
-#define GDP_CHECK_LT(a, b) GDP_CHECK((a) < (b))
-#define GDP_CHECK_LE(a, b) GDP_CHECK((a) <= (b))
-#define GDP_CHECK_GT(a, b) GDP_CHECK((a) > (b))
-#define GDP_CHECK_GE(a, b) GDP_CHECK((a) >= (b))
+// GDP_CHECK / GDP_DCHECK and friends live in util/check.h.
 
 #endif  // GDP_UTIL_LOGGING_H_

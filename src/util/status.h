@@ -20,8 +20,9 @@ enum class StatusCode {
 
 /// Lightweight error-or-success value; this project does not throw across
 /// library boundaries (per the style guides), so fallible operations return
-/// Status or StatusOr<T>.
-class Status {
+/// Status or StatusOr<T>. [[nodiscard]] so a dropped error is a compile
+/// warning (and an error under tools/check.sh, which builds -Werror).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -50,7 +51,7 @@ class Status {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -64,12 +65,12 @@ class Status {
 /// A value or an error. Minimal StatusOr: access via value() only after
 /// checking ok().
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
   StatusOr(Status status) : status_(std::move(status)) {}     // NOLINT
 
-  bool ok() const { return status_.ok(); }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
   const T& value() const& { return value_; }
   T& value() & { return value_; }
@@ -81,5 +82,27 @@ class StatusOr {
 };
 
 }  // namespace gdp::util
+
+/// Propagates an error Status out of the enclosing function:
+///   GDP_RETURN_IF_ERROR(SaveEdgeList(edges, path));
+#define GDP_RETURN_IF_ERROR(expr)                       \
+  do {                                                  \
+    ::gdp::util::Status gdp_status_ = (expr);           \
+    if (!gdp_status_.ok()) return gdp_status_;          \
+  } while (false)
+
+#define GDP_STATUS_CONCAT_INNER_(a, b) a##b
+#define GDP_STATUS_CONCAT_(a, b) GDP_STATUS_CONCAT_INNER_(a, b)
+
+/// Unwraps a StatusOr<T> into `lhs`, propagating the error on failure:
+///   GDP_ASSIGN_OR_RETURN(EdgeList edges, LoadEdgeList(path));
+#define GDP_ASSIGN_OR_RETURN(lhs, expr)                              \
+  GDP_ASSIGN_OR_RETURN_IMPL_(                                        \
+      GDP_STATUS_CONCAT_(gdp_status_or_, __LINE__), lhs, expr)
+
+#define GDP_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, expr) \
+  auto statusor = (expr);                               \
+  if (!statusor.ok()) return std::move(statusor).status(); \
+  lhs = std::move(statusor).value()
 
 #endif  // GDP_UTIL_STATUS_H_

@@ -130,6 +130,12 @@ TEST(AccountingMathTest, GraphXIntraMachineTrafficIsFree) {
   partition::DistributedGraph dg = HandGraph();
   dg.num_machines = 1;
   dg.master = {0, 0, 0, 0};
+  // Ingest materializes a replica at every master's location (v2 and v3
+  // were only on partition 1); mirror that here or the structural
+  // validators reject the placement in debug builds.
+  dg.replicas.Add(2, 0);
+  dg.replicas.Add(3, 0);
+  dg.replication_factor = 7.0 / 4.0;
   sim::Cluster cluster(1, sim::CostModel{});
   RunOptions options;
   options.max_iterations = 1;

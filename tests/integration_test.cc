@@ -25,18 +25,17 @@ using partition::StrategyKind;
 class ShapeTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    road_ = new graph::EdgeList(graph::GenerateRoadNetwork(
+    road_ = std::make_unique<graph::EdgeList>(graph::GenerateRoadNetwork(
         {.width = 80, .height = 80, .seed = 101}));
-    social_ = new graph::EdgeList(graph::GenerateHeavyTailed(
+    social_ = std::make_unique<graph::EdgeList>(graph::GenerateHeavyTailed(
         {.num_vertices = 8000, .edges_per_vertex = 8, .seed = 102}));
-    web_ = new graph::EdgeList(graph::GeneratePowerLawWeb(
+    web_ = std::make_unique<graph::EdgeList>(graph::GeneratePowerLawWeb(
         {.num_vertices = 12000, .seed = 103}));
   }
   static void TearDownTestSuite() {
-    delete road_;
-    delete social_;
-    delete web_;
-    road_ = social_ = web_ = nullptr;
+    road_.reset();
+    social_.reset();
+    web_.reset();
   }
 
   static double Rf(const graph::EdgeList& edges, StrategyKind strategy,
@@ -56,14 +55,14 @@ class ShapeTest : public ::testing::Test {
     return harness::RunIngressOnly(edges, spec).ingress.ingress_seconds;
   }
 
-  static graph::EdgeList* road_;
-  static graph::EdgeList* social_;
-  static graph::EdgeList* web_;
+  static std::unique_ptr<graph::EdgeList> road_;
+  static std::unique_ptr<graph::EdgeList> social_;
+  static std::unique_ptr<graph::EdgeList> web_;
 };
 
-graph::EdgeList* ShapeTest::road_ = nullptr;
-graph::EdgeList* ShapeTest::social_ = nullptr;
-graph::EdgeList* ShapeTest::web_ = nullptr;
+std::unique_ptr<graph::EdgeList> ShapeTest::road_;
+std::unique_ptr<graph::EdgeList> ShapeTest::social_;
+std::unique_ptr<graph::EdgeList> ShapeTest::web_;
 
 // ---------------------------------------------------------------------------
 // Graph classification of the three dataset stand-ins (Table 4.2 / Fig 5.8)
@@ -109,7 +108,7 @@ TEST_F(ShapeTest, PowerLawFavorsGreedyOverGrid) {
 }
 
 TEST_F(ShapeTest, RandomHasWorstReplicationEverywhere) {
-  for (const graph::EdgeList* g : {road_, social_, web_}) {
+  for (const graph::EdgeList* g : {road_.get(), social_.get(), web_.get()}) {
     double random = Rf(*g, StrategyKind::kRandom);
     EXPECT_GE(random, Rf(*g, StrategyKind::kGrid) * 0.99);
     EXPECT_GE(random, Rf(*g, StrategyKind::kHdrf) * 0.99);
@@ -215,7 +214,7 @@ TEST_F(ShapeTest, PowerGraphTreePicksBestMeasuredRf) {
   struct Case {
     const graph::EdgeList* edges;
   };
-  for (const graph::EdgeList* edges : {road_, social_, web_}) {
+  for (const graph::EdgeList* edges : {road_.get(), social_.get(), web_.get()}) {
     graph::GraphStats stats = graph::ComputeGraphStats(*edges);
     advisor::Workload workload;
     workload.graph_class = stats.classified;

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "util/check.h"
 #include "util/hash.h"
 #include "util/random.h"
 #include "util/stats.h"
@@ -256,6 +257,41 @@ TEST(StatusTest, StatusOrErrorPath) {
   StatusOr<int> v(Status::NotFound("missing"));
   EXPECT_FALSE(v.ok());
   EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+Status FailWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+StatusOr<int> DoubleWhenPositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return 2 * x;
+}
+
+Status ChainBoth(int x) {
+  GDP_RETURN_IF_ERROR(FailWhenNegative(x));
+  GDP_ASSIGN_OR_RETURN(int doubled, DoubleWhenPositive(x));
+  if (doubled != 2 * x) return Status::Internal("bad arithmetic");
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(ChainBoth(3).ok());
+  EXPECT_EQ(ChainBoth(-1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ChainBoth(0).code(), StatusCode::kOutOfRange);
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  GDP_CHECK(1 + 1 == 2) << "never printed";
+  GDP_CHECK_OK(Status::Ok());
+  GDP_DCHECK_EQ(2, 2);
+  GDP_DCHECK_OK(Status::Ok());
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithMessage) {
+  EXPECT_DEATH(GDP_CHECK(false) << "ctx " << 42, "ctx 42");
+  EXPECT_DEATH(GDP_CHECK_OK(Status::NotFound("gone")), "NOT_FOUND: gone");
 }
 
 // ---------------------------------------------------------------------------

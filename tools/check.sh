@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# tools/check.sh — the repo's tier-1+ correctness gate.
+#
+# Runs, in order, failing fast with a non-zero exit on the first problem:
+#   1. plain build (RelWithDebInfo, -Wall -Wextra -Werror) + full ctest
+#      suite, which includes the gdp_lint source linter;
+#   2. ASan+UBSan build (Debug, so GDP_DCHECK and the structural validators
+#      in src/partition/validate.h are live) + full ctest suite, failing on
+#      any sanitizer report (halt_on_error).
+#
+# Usage: tools/check.sh [--quick]
+#   --quick  plain leg only (the seed tier-1 contract) — no sanitizer leg.
+#
+# Build trees: build-check/ (plain) and build-asan/ (sanitized), kept apart
+# from the developer's build/ so the gate never clobbers a working tree.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+run_leg() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "=== [$name] configure ==="
+  cmake -B "$dir" -S "$ROOT" "$@" >"$dir.configure.log" 2>&1 || {
+    cat "$dir.configure.log"
+    echo "check.sh: [$name] configure FAILED" >&2
+    return 1
+  }
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$JOBS" >"$dir.build.log" 2>&1 || {
+    tail -50 "$dir.build.log"
+    echo "check.sh: [$name] build FAILED" >&2
+    return 1
+  }
+  echo "=== [$name] ctest ==="
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS") || {
+    echo "check.sh: [$name] tests FAILED" >&2
+    return 1
+  }
+}
+
+# Leg 1: plain build + tests (includes the gdp_lint ctest test). -Werror
+# promotes the [[nodiscard]] Status discards to hard errors.
+run_leg "plain" "$ROOT/build-check" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS=-Werror
+
+if [[ "$QUICK" == "1" ]]; then
+  echo "check.sh: quick gate PASSED (plain build + ctest + lint)"
+  exit 0
+fi
+
+# Leg 2: ASan + UBSan, Debug so NDEBUG is off and the structural validators
+# (GDP_DCHECK_OK(ValidateDistributedGraph) in the harness and GAS engine)
+# run on every ingest. halt_on_error turns any report into a test failure.
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+run_leg "asan+ubsan" "$ROOT/build-asan" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  "-DGDP_SANITIZE=address;undefined"
+
+echo "check.sh: full gate PASSED (plain + lint + ASan/UBSan ctest)"

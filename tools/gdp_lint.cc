@@ -1,0 +1,280 @@
+// gdp_lint: source-level project linter (line/token based, no libclang).
+//
+// Usage: gdp_lint <repo-root>
+//
+// Scans src/, tools/, bench/, tests/, and examples/ for violations of the
+// project rules and prints one "path:line: [rule] message" per finding;
+// exits non-zero when anything is found. Registered as a ctest test so the
+// rules run on every `ctest` invocation (see tools/CMakeLists.txt and
+// tools/check.sh).
+//
+// Rules:
+//   no-rand        src/ only: no rand()/srand() — library code must use
+//                  util/random.h so experiments stay seed-reproducible.
+//   no-cout        src/ only: no std::cout — library code reports through
+//                  return values or GDP_LOG, never by printing.
+//   no-naked-new   everywhere: `new` must be wrapped in a smart pointer
+//                  within the same statement (make_unique/unique_ptr/
+//                  shared_ptr) or carry a NOLINT comment.
+//   no-include-cc  everywhere: never #include a .cc file.
+//   header-guard   every .h must have #pragma once or an #ifndef guard.
+//   status-discard everywhere: a call to a function returning Status /
+//                  StatusOr must not stand alone as a statement (and must
+//                  not be (void)-cast). [[nodiscard]] catches most of this
+//                  at compile time; the lint also catches the (void) cast
+//                  that silences the compiler.
+//
+// Comment and string contents are stripped before matching, so prose and
+// literals never trigger findings.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct FileText {
+  fs::path path;
+  std::string rel;                    // path relative to the repo root
+  std::vector<std::string> raw;       // original lines
+  std::vector<std::string> stripped;  // comments and string literals blanked
+};
+
+/// Blanks comments, string literals, and char literals, preserving line
+/// structure so findings carry real line numbers. `in_block` carries the
+/// /* ... */ state across lines.
+std::string StripLine(const std::string& line, bool& in_block) {
+  std::string out;
+  out.reserve(line.size());
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (in_block) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block = false;
+        ++i;
+      }
+      continue;
+    }
+    char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block = true;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      out.push_back(quote);
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) break;
+        ++i;
+      }
+      out.push_back(quote);
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+FileText LoadFile(const fs::path& path, const fs::path& root) {
+  FileText f;
+  f.path = path;
+  f.rel = fs::relative(path, root).string();
+  std::ifstream in(path);
+  std::string line;
+  bool in_block = false;
+  while (std::getline(in, line)) {
+    f.raw.push_back(line);
+    f.stripped.push_back(StripLine(line, in_block));
+  }
+  return f;
+}
+
+bool HasNolint(const std::string& raw_line) {
+  return raw_line.find("NOLINT") != std::string::npos;
+}
+
+bool InDir(const FileText& f, const char* dir) {
+  return f.rel.rfind(std::string(dir) + "/", 0) == 0;
+}
+
+/// Collects names of functions declared or defined to return Status or
+/// StatusOr<...>, for the status-discard rule. Factory members declared in
+/// util/status.h itself (Ok, InvalidArgument, ...) are excluded: they
+/// produce a Status the caller is about to use, and their call sites are
+/// the return statements the other patterns already cover.
+std::set<std::string> CollectStatusFunctions(
+    const std::vector<FileText>& files) {
+  static const std::regex kDecl(
+      R"((?:util::)?Status(?:Or<[^;{]*>)?\s+(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\()");
+  std::set<std::string> names;
+  for (const FileText& f : files) {
+    if (f.rel == "src/util/status.h") continue;
+    for (const std::string& line : f.stripped) {
+      for (std::sregex_iterator it(line.begin(), line.end(), kDecl), end;
+           it != end; ++it) {
+        names.insert((*it)[1].str());
+      }
+    }
+  }
+  return names;
+}
+
+void CheckHeaderGuard(const FileText& f, std::vector<Finding>& findings) {
+  if (f.path.extension() != ".h") return;
+  for (const std::string& line : f.stripped) {
+    if (line.find("#pragma once") != std::string::npos) return;
+    if (line.find("#ifndef") != std::string::npos) return;
+    // Any other preprocessor directive or code before the guard means the
+    // guard is missing or too late to protect anything.
+    std::string trimmed = line.substr(line.find_first_not_of(" \t") ==
+                                              std::string::npos
+                                          ? line.size()
+                                          : line.find_first_not_of(" \t"));
+    if (!trimmed.empty()) break;
+  }
+  findings.push_back({f.rel, 1, "header-guard",
+                      "header has no #pragma once or #ifndef include guard"});
+}
+
+void CheckLines(const FileText& f, const std::set<std::string>& status_fns,
+                std::vector<Finding>& findings) {
+  static const std::regex kRand(R"(\b(?:std::)?s?rand\s*\()");
+  static const std::regex kCout(R"(\bstd::cout\b)");
+  static const std::regex kNew(R"(\bnew\b\s*[A-Za-z_(<])");
+  // Matched against the RAW line: the include path is a string literal,
+  // which stripping would blank.
+  static const std::regex kIncludeCc(R"(^\s*#\s*include\s*[<"][^">]*\.cc[">])");
+  static const std::regex kBareCall(
+      R"(^\s*(?:\(\s*void\s*\)\s*)?(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\()");
+  const bool in_src = InDir(f, "src");
+
+  // Statement buffer for no-naked-new: text since the last ; { or },
+  // so `unique_ptr<T>(\n    new T(...))` split across lines still passes.
+  std::string statement;
+
+  for (size_t i = 0; i < f.stripped.size(); ++i) {
+    const std::string& line = f.stripped[i];
+    const size_t lineno = i + 1;
+    const bool nolint = HasNolint(f.raw[i]);
+
+    if (in_src && !nolint && std::regex_search(line, kRand)) {
+      findings.push_back({f.rel, lineno, "no-rand",
+                          "rand()/srand() in library code; use util/random.h "
+                          "so runs stay seed-reproducible"});
+    }
+    if (in_src && !nolint && std::regex_search(line, kCout)) {
+      findings.push_back({f.rel, lineno, "no-cout",
+                          "std::cout in library code; return values or use "
+                          "GDP_LOG"});
+    }
+    if (!nolint && std::regex_search(f.raw[i], kIncludeCc)) {
+      findings.push_back(
+          {f.rel, lineno, "no-include-cc", "#include of a .cc file"});
+    }
+
+    if (!nolint && std::regex_search(line, kNew)) {
+      std::string context = statement + line;
+      if (context.find("unique_ptr") == std::string::npos &&
+          context.find("shared_ptr") == std::string::npos &&
+          context.find("make_unique") == std::string::npos &&
+          context.find("make_shared") == std::string::npos) {
+        findings.push_back({f.rel, lineno, "no-naked-new",
+                            "naked new; use std::make_unique or wrap in a "
+                            "smart pointer in the same statement"});
+      }
+    }
+
+    const bool starts_statement =
+        statement.find_first_not_of(" \t") == std::string::npos;
+    if (!nolint && starts_statement && f.path.extension() != ".h") {
+      std::smatch m;
+      if (std::regex_search(line, m, kBareCall) &&
+          status_fns.count(m[1].str()) != 0 &&
+          line.find('=') == std::string::npos) {
+        // A call statement `Foo(...);` (possibly (void)-cast) whose callee
+        // returns Status/StatusOr, with no assignment on the line: the
+        // result is discarded.
+        findings.push_back(
+            {f.rel, lineno, "status-discard",
+             "result of Status-returning call '" + m[1].str() +
+                 "' is discarded; check it, propagate it with "
+                 "GDP_RETURN_IF_ERROR, or assert with GDP_CHECK_OK"});
+      }
+    }
+
+    // Update the statement buffer.
+    size_t cut = line.find_last_of(";{}");
+    if (cut == std::string::npos) {
+      statement += line + " ";
+    } else {
+      statement = line.substr(cut + 1) + " ";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <repo-root>\n", argv[0]);
+    return 2;
+  }
+  const fs::path root(argv[1]);
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "gdp_lint: not a directory: %s\n", argv[1]);
+    return 2;
+  }
+
+  std::vector<FileText> files;
+  for (const char* dir : {"src", "tools", "bench", "tests", "examples"}) {
+    const fs::path sub = root / dir;
+    if (!fs::is_directory(sub)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(sub)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path& p = entry.path();
+      if (p.extension() == ".h" || p.extension() == ".cc" ||
+          p.extension() == ".cpp") {
+        files.push_back(LoadFile(p, root));
+      }
+    }
+  }
+
+  const std::set<std::string> status_fns = CollectStatusFunctions(files);
+
+  std::vector<Finding> findings;
+  for (const FileText& f : files) {
+    CheckHeaderGuard(f, findings);
+    CheckLines(f, status_fns, findings);
+  }
+
+  for (const Finding& x : findings) {
+    std::printf("%s:%zu: [%s] %s\n", x.file.c_str(), x.line, x.rule.c_str(),
+                x.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::printf("gdp_lint: %zu finding(s) in %zu files scanned\n",
+                findings.size(), files.size());
+    return 1;
+  }
+  std::printf("gdp_lint: clean (%zu files scanned)\n", files.size());
+  return 0;
+}
