@@ -46,12 +46,22 @@ GasRunResult<App> RunAsyncGasEngine(const partition::DistributedGraph& dg,
   const sim::ObjectSizes sizes;
   const double work_mul = options.work_multiplier;
 
-  std::vector<uint64_t> out_degree(n, 0);
-  std::vector<uint64_t> in_degree(n, 0);
-  for (const graph::Edge& e : dg.edges) {
-    ++out_degree[e.src];
-    ++in_degree[e.dst];
+  // Degrees: use the graph's ingest-time cache when present, otherwise
+  // compute a local fallback (hand-assembled graphs).
+  std::vector<uint64_t> fallback_out_degree;
+  std::vector<uint64_t> fallback_in_degree;
+  if (!dg.HasDegreeCache()) {
+    fallback_out_degree.assign(n, 0);
+    fallback_in_degree.assign(n, 0);
+    for (const graph::Edge& e : dg.edges) {
+      ++fallback_out_degree[e.src];
+      ++fallback_in_degree[e.dst];
+    }
   }
+  const std::vector<uint64_t>& out_degree =
+      dg.HasDegreeCache() ? dg.out_degree : fallback_out_degree;
+  const std::vector<uint64_t>& in_degree =
+      dg.HasDegreeCache() ? dg.in_degree : fallback_in_degree;
   AppContext ctx{&out_degree, &in_degree};
   internal::MachineMasks masks = internal::MachineMasks::Build(dg);
 

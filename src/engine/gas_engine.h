@@ -1,16 +1,22 @@
 #ifndef GDP_ENGINE_GAS_ENGINE_H_
 #define GDP_ENGINE_GAS_ENGINE_H_
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "engine/gas_app.h"
+#include "engine/plan.h"
 #include "engine/run_stats.h"
 #include "partition/distributed_graph.h"
 #include "partition/validate.h"
 #include "sim/cluster.h"
+#include "sim/phase_accumulator.h"
 #include "util/check.h"
+#include "util/dense_bitset.h"
+#include "util/thread_pool.h"
 
 namespace gdp::engine {
 
@@ -56,13 +62,29 @@ struct GasRunResult {
 };
 
 /// Runs `app` over the partitioned graph on the simulated cluster and
-/// returns final vertex states plus cost statistics. Single-threaded real
-/// computation; all distribution costs are charged to `cluster` according
-/// to `kind`. Requires cluster.num_machines() == dg.num_machines and at
-/// most 64 machines (partitions may exceed 64).
+/// returns final vertex states plus cost statistics.
+///
+/// This is the parallel, frontier-aware engine. Real computation runs on
+/// `options.num_threads` lanes (0 = hardware default) and gather/scatter
+/// traverse precomputed adjacency restricted to the active frontier, so a
+/// sparse superstep costs O(frontier edges) instead of O(|E|). Simulated
+/// distribution costs charged to `cluster` are *bit-identical* to the
+/// original serial engine (reference_engine.h) at every thread count — see
+/// sim::PhaseAccumulator for the mechanism. Requires
+/// cluster.num_machines() == dg.num_machines and at most 64 machines
+/// (partitions may exceed 64).
 template <GasApplication App>
 GasRunResult<App> RunGasEngine(EngineKind kind,
                                const partition::DistributedGraph& dg,
+                               sim::Cluster& cluster, App app,
+                               const RunOptions& options = {});
+
+/// Same, over a prebuilt ExecutionPlan (amortizes plan construction across
+/// runs — e.g. k-core's per-k sweeps). The plan must have been built from
+/// `dg` with this App's gather/scatter directions, and with GraphX fan-out
+/// counts when `kind` is kGraphXPregel.
+template <GasApplication App>
+GasRunResult<App> RunGasEngine(EngineKind kind, const ExecutionPlan& plan,
                                sim::Cluster& cluster, App app,
                                const RunOptions& options = {});
 
@@ -70,85 +92,105 @@ GasRunResult<App> RunGasEngine(EngineKind kind,
 // Implementation details only below here.
 // ---------------------------------------------------------------------------
 
-namespace internal {
-
-/// Per-vertex placement data folded down to machine bitmasks (<= 64
-/// machines), precomputed once per run: message counting then reduces to
-/// popcounts.
-struct MachineMasks {
-  std::vector<uint64_t> replicas;
-  std::vector<uint64_t> in_edges;
-  std::vector<uint64_t> out_edges;
-  std::vector<sim::MachineId> master_machine;
-
-  static MachineMasks Build(const partition::DistributedGraph& dg);
-};
-
-/// Gather/scatter-direction machine mask for vertex v.
-inline uint64_t DirectionMask(const MachineMasks& masks, EdgeDirection dir,
-                              graph::VertexId v) {
-  uint64_t m = 0;
-  if (IncludesIn(dir)) m |= masks.in_edges[v];
-  if (IncludesOut(dir)) m |= masks.out_edges[v];
-  return m;
-}
-
-}  // namespace internal
-
 template <GasApplication App>
-GasRunResult<App> RunGasEngine(EngineKind kind,
-                               const partition::DistributedGraph& dg,
+GasRunResult<App> RunGasEngine(EngineKind kind, const ExecutionPlan& plan,
                                sim::Cluster& cluster, App app,
                                const RunOptions& options) {
   using State = typename App::State;
   using Gather = typename App::Gather;
 
+  const partition::DistributedGraph& dg = *plan.dg;
   GDP_CHECK_EQ(cluster.num_machines(), dg.num_machines);
   GDP_CHECK_LE(dg.num_machines, 64u);
+  GDP_CHECK(plan.gather_dir == App::kGatherDir &&
+            plan.scatter_dir == App::kScatterDir);
   // Debug builds re-verify the placement/replica invariants every run; the
   // engines' message accounting silently miscounts on a corrupt structure.
   GDP_DCHECK_OK(partition::ValidateDistributedGraph(dg));
   const graph::VertexId n = dg.num_vertices;
+  const uint64_t num_edges = dg.edges.size();
   const sim::ObjectSizes sizes;
   const double work_mul = options.work_multiplier;
 
-  // Degrees for the application context.
-  std::vector<uint64_t> out_degree(n, 0);
-  std::vector<uint64_t> in_degree(n, 0);
-  for (const graph::Edge& e : dg.edges) {
-    ++out_degree[e.src];
-    ++in_degree[e.dst];
-  }
+  const std::vector<uint64_t>& out_degree = plan.out_degrees();
+  const std::vector<uint64_t>& in_degree = plan.in_degrees();
   AppContext ctx{&out_degree, &in_degree};
 
-  internal::MachineMasks masks = internal::MachineMasks::Build(dg);
-
-  // GraphX-only: per-PARTITION fan-out counts. Spark materializes one
-  // shuffle block per (vertex, edge-partition) pair when shipping vertex
-  // attributes and returning partial aggregates, so its compute cost
-  // tracks the *partition-level* replication factor even when partitions
-  // share machines — the §7.4 mechanism behind 2D's advantage on skewed
-  // graphs. The C++ engines coalesce per machine and skip this cost.
-  std::vector<uint16_t> gather_partition_count;
-  std::vector<uint16_t> scatter_partition_count;
+  const internal::MachineMasks& masks = plan.masks;
   if (kind == EngineKind::kGraphXPregel) {
-    gather_partition_count.assign(n, 0);
-    scatter_partition_count.assign(n, 0);
-    for (graph::VertexId v = 0; v < n; ++v) {
-      if (!dg.present[v]) continue;
-      uint32_t in = dg.in_edge_partitions.Count(v);
-      uint32_t out = dg.out_edge_partitions.Count(v);
-      uint32_t gather = 0, scatter = 0;
-      if (IncludesIn(App::kGatherDir)) gather += in;
-      if (IncludesOut(App::kGatherDir)) gather += out;
-      if (IncludesIn(App::kScatterDir)) scatter += in;
-      if (IncludesOut(App::kScatterDir)) scatter += out;
-      gather_partition_count[v] = static_cast<uint16_t>(
-          gather > 65535 ? 65535 : gather);
-      scatter_partition_count[v] = static_cast<uint16_t>(
-          scatter > 65535 ? 65535 : scatter);
-    }
+    GDP_CHECK_EQ(plan.gather_partition_count.size(), n);
   }
+
+  // --- Accounting mode -----------------------------------------------------
+  // Every work charge in the serial engine is an integer multiple of one
+  // quarter of the work multiplier, so lanes count integer quarter-units
+  // (sim::PhaseAccumulator) instead of summing doubles. When the unit is
+  // dyadic enough that sums up to max_units are exact in any order (the
+  // default multiplier 1.0, any power of two), a closed-form flush is
+  // bit-identical to the serial engine. Otherwise — exotic multipliers, or
+  // GraphX whose apply charges 0.8 * blocks (not a quarter-unit multiple) —
+  // computation still runs parallel but cost accounting is replayed
+  // serially in the serial engine's exact order.
+  const double unit_value = 0.25 * work_mul;
+  const uint64_t max_units = 8 * (2 * num_edges + 130ULL * n + 64);
+  const bool fast_accounting =
+      kind != EngineKind::kGraphXPregel &&
+      sim::PhaseAccumulator::ClosedFormExact(unit_value, max_units);
+
+  const uint32_t num_threads = options.num_threads != 0
+                                   ? options.num_threads
+                                   : util::ThreadPool::DefaultThreadCount();
+  util::ThreadPool pool(num_threads);
+  std::vector<sim::PhaseAccumulator> accs(pool.num_threads());
+  for (sim::PhaseAccumulator& acc : accs) acc.Reset(dg.num_machines);
+  auto flush_accs = [&] {
+    for (size_t i = 1; i < accs.size(); ++i) accs[0].Merge(accs[i]);
+    if (fast_accounting) {
+      accs[0].FlushTo(cluster, unit_value);
+    } else {
+      accs[0].FlushToReplay(cluster, unit_value);
+    }
+    for (sim::PhaseAccumulator& acc : accs) acc.Reset(dg.num_machines);
+  };
+
+  // --- Frontier iteration --------------------------------------------------
+  // Sparse frontiers (fewer than 1/32 of the vertices) are materialized as a
+  // sorted index list and sharded in 1024-entry chunks; dense frontiers are
+  // scanned in place in word-aligned 4096-vertex blocks (so block-local
+  // non-atomic writes never share a word across lanes). Chunk decomposition
+  // depends only on sizes, never on the lane count.
+  std::vector<graph::VertexId> frontier_list;
+  auto for_each_frontier = [&](const util::DenseBitset& bits, uint64_t count,
+                               auto&& per_vertex) {
+    if (count == 0) return;
+    if (count * 32 < static_cast<uint64_t>(n)) {
+      frontier_list.clear();
+      bits.AppendSetBits(&frontier_list);
+      constexpr uint64_t kChunk = 1024;
+      const uint64_t total = frontier_list.size();
+      pool.ParallelFor((total + kChunk - 1) / kChunk,
+                       [&](uint64_t chunk, uint32_t lane) {
+                         const uint64_t begin = chunk * kChunk;
+                         const uint64_t end =
+                             std::min(begin + kChunk, total);
+                         for (uint64_t i = begin; i < end; ++i) {
+                           per_vertex(frontier_list[i], lane);
+                         }
+                       });
+    } else {
+      constexpr uint64_t kWords = 64;  // 4096 vertices per chunk
+      const uint64_t num_words = bits.num_words();
+      pool.ParallelFor(
+          (num_words + kWords - 1) / kWords,
+          [&](uint64_t chunk, uint32_t lane) {
+            bits.ForEachSetInWordRange(
+                chunk * kWords, std::min(num_words, (chunk + 1) * kWords),
+                [&](uint64_t v) {
+                  per_vertex(static_cast<graph::VertexId>(v), lane);
+                });
+          });
+    }
+  };
 
   GasRunResult<App> result;
   RunStats& stats = result.stats;
@@ -158,9 +200,9 @@ GasRunResult<App> RunGasEngine(EngineKind kind,
     state.push_back(app.InitState(v, ctx));
   }
 
-  std::vector<bool> active(n, false);
+  util::DenseBitset active(n);
   for (graph::VertexId v = 0; v < n; ++v) {
-    active[v] = dg.present[v] && app.InitiallyActive(v);
+    if (dg.present[v] && app.InitiallyActive(v)) active.Set(v);
   }
 
   const double compute_start = cluster.now_seconds();
@@ -170,69 +212,81 @@ GasRunResult<App> RunGasEngine(EngineKind kind,
     inbound_start[m] = cluster.machine(m).bytes_received();
   }
 
-  auto machine_of_edge = [&](uint64_t i) -> sim::MachineId {
-    return dg.edge_partition[i] % dg.num_machines;
-  };
+  util::DenseBitset signaled(n);
+  util::DenseBitset next_active(n);
 
   // Activation (scatter control) messages: signaled center v notifies the
-  // machines holding its scatter-direction edges.
-  auto charge_activation = [&](graph::VertexId v) {
+  // machines holding its scatter-direction edges. Byte counts only —
+  // integer sums, safe to accumulate on any lane in any order.
+  auto charge_activation = [&](graph::VertexId v, uint32_t lane) {
     uint64_t mask = internal::DirectionMask(masks, App::kScatterDir, v);
     sim::MachineId master = masks.master_machine[v];
     mask &= ~(1ULL << master);
     while (mask != 0) {
-      sim::MachineId m =
-          static_cast<sim::MachineId>(std::countr_zero(mask));
+      sim::MachineId m = static_cast<sim::MachineId>(std::countr_zero(mask));
       mask &= mask - 1;
-      cluster.machine(master).ChargePhaseBytes(sizes.control_message);
-      cluster.machine(m).ReceiveBytes(sizes.control_message);
+      accs[lane].ChargeSendBytes(master, sizes.control_message);
+      accs[lane].ChargeReceiveBytes(m, sizes.control_message);
     }
   };
 
-  // Scatter minor-step from the `signaled` set into `next_active`.
-  // Activation signals piggyback on the state-sync messages sent for the
-  // same vertices (the real engines coalesce them), so scatter itself only
-  // charges compute work.
-  auto run_scatter = [&](const std::vector<bool>& signaled,
-                         std::vector<bool>& next_active) {
-    for (uint64_t i = 0; i < dg.edges.size(); ++i) {
+  // Scatter minor-step from `from` into `into`: wake the scatter-direction
+  // neighbors of every signaled center. Activation signals piggyback on the
+  // state-sync messages sent for the same vertices (the real engines
+  // coalesce them), so scatter itself only charges compute work.
+  auto scatter_frontier = [&](const util::DenseBitset& from, uint64_t count,
+                              util::DenseBitset& into) {
+    for_each_frontier(from, count, [&](graph::VertexId v, uint32_t lane) {
+      const uint64_t begin = plan.scatter_offsets[v];
+      const uint64_t end = plan.scatter_offsets[v + 1];
+      for (uint64_t s = begin; s < end; ++s) {
+        accs[lane].AddWorkUnits(plan.scatter_machine[s], 4);
+        into.SetAtomic(plan.scatter_target[s]);
+      }
+    });
+  };
+
+  // Exact-accounting scatter: the serial engine's full edge scan, verbatim,
+  // so per-machine charge sequences (including the single combined
+  // 2x-work-multiplier charge when both endpoints scatter) replay exactly.
+  auto scatter_serial = [&](const util::DenseBitset& from,
+                            util::DenseBitset& into) {
+    for (uint64_t i = 0; i < num_edges; ++i) {
       const graph::Edge& e = dg.edges[i];
-      bool src_scatters = IncludesOut(App::kScatterDir) && signaled[e.src];
-      bool dst_scatters = IncludesIn(App::kScatterDir) && signaled[e.dst];
+      bool src_scatters = IncludesOut(App::kScatterDir) && from.Test(e.src);
+      bool dst_scatters = IncludesIn(App::kScatterDir) && from.Test(e.dst);
       if (!src_scatters && !dst_scatters) continue;
-      sim::MachineId m = machine_of_edge(i);
-      cluster.machine(m).AddWork(work_mul *
-                                 ((src_scatters ? 1 : 0) +
-                                  (dst_scatters ? 1 : 0)));
-      if (src_scatters) next_active[e.dst] = true;
-      if (dst_scatters) next_active[e.src] = true;
+      cluster.machine(plan.edge_machine[i])
+          .AddWork(work_mul *
+                   ((src_scatters ? 1 : 0) + (dst_scatters ? 1 : 0)));
+      if (src_scatters) into.Set(e.dst);
+      if (dst_scatters) into.Set(e.src);
     }
   };
 
   // Optional bootstrap: initially active vertices announce themselves;
   // with no apply/sync step yet, these activations do cross the wire.
   if (App::kBootstrapScatter) {
-    std::vector<bool> next_active(n, false);
-    run_scatter(active, next_active);
-    for (graph::VertexId v = 0; v < n; ++v) {
-      if (active[v]) charge_activation(v);
+    const uint64_t init_count = active.CountSet();
+    if (fast_accounting) {
+      scatter_frontier(active, init_count, next_active);
+    } else {
+      scatter_serial(active, next_active);
     }
+    for_each_frontier(active, init_count, charge_activation);
+    flush_accs();
     cluster.EndPhase();
-    active.swap(next_active);
+    std::swap(active, next_active);
+    next_active.ClearAll();
   }
 
   std::vector<Gather> acc(n, app.GatherInit());
-  std::vector<bool> has_gather(n, false);
-  std::vector<bool> signaled(n, false);
-  std::vector<bool> next_active(n, false);
+  std::vector<uint8_t> has_gather(n, 0);
 
   const Gather gather_identity = app.GatherInit();
   uint32_t iteration = 0;
   for (; iteration < options.max_iterations; ++iteration) {
-    uint64_t active_count = 0;
-    for (graph::VertexId v = 0; v < n; ++v) {
-      if (active[v]) ++active_count;
-    }
+    const uint64_t active_count = active.CountSet();
     stats.active_counts.push_back(active_count);
     if (active_count == 0) {
       stats.converged = true;
@@ -240,130 +294,185 @@ GasRunResult<App> RunGasEngine(EngineKind kind,
     }
 
     // ---- Gather minor-step ------------------------------------------------
-    for (graph::VertexId v = 0; v < n; ++v) {
-      if (active[v]) {
-        acc[v] = gather_identity;
-        has_gather[v] = false;
-      }
-    }
-    for (uint64_t i = 0; i < dg.edges.size(); ++i) {
-      const graph::Edge& e = dg.edges[i];
-      bool gather_dst = IncludesIn(App::kGatherDir) && active[e.dst];
-      bool gather_src = IncludesOut(App::kGatherDir) && active[e.src];
-      if (!gather_dst && !gather_src) continue;
-      sim::MachineId m = machine_of_edge(i);
-      if (gather_dst) {
-        app.GatherEdge(e.dst, e.src, state[e.src], ctx, &acc[e.dst]);
-        has_gather[e.dst] = true;
-        cluster.machine(m).AddWork(work_mul);
-      }
-      if (gather_src) {
-        app.GatherEdge(e.src, e.dst, state[e.dst], ctx, &acc[e.src]);
-        has_gather[e.src] = true;
-        cluster.machine(m).AddWork(work_mul);
-      }
-    }
+    // Each active center folds its gather-direction neighbors through the
+    // plan's CSR. Adjacency order per center equals the serial engine's
+    // edge-scan order restricted to that center (plan.h), and only the
+    // center's lane touches acc[v]/has_gather[v], so gather results are
+    // bit-identical to the serial engine at any lane count.
+    for_each_frontier(active, active_count,
+                      [&](graph::VertexId v, uint32_t lane) {
+                        const uint64_t begin = plan.gather_offsets[v];
+                        const uint64_t end = plan.gather_offsets[v + 1];
+                        Gather folded = gather_identity;
+                        for (uint64_t s = begin; s < end; ++s) {
+                          const graph::VertexId nbr = plan.gather_nbr[s];
+                          app.GatherEdge(v, nbr, state[nbr], ctx, &folded);
+                          accs[lane].AddWorkUnits(plan.gather_machine[s], 4);
+                        }
+                        acc[v] = std::move(folded);
+                        has_gather[v] = begin != end;
+                      });
+    flush_accs();
 
     // ---- Apply minor-step + message accounting ----------------------------
-    std::fill(signaled.begin(), signaled.end(), false);
-    uint64_t signaled_count = 0;
-    for (graph::VertexId v = 0; v < n; ++v) {
-      if (!active[v]) continue;
-      sim::MachineId master = masks.master_machine[v];
-      cluster.machine(master).AddWork(work_mul);
-      bool signal = app.Apply(v, acc[v], has_gather[v], ctx, &state[v]);
-      if (signal) {
-        signaled[v] = true;
-        ++signaled_count;
-      }
+    signaled.ClearAll();
+    if (fast_accounting) {
+      for_each_frontier(
+          active, active_count, [&](graph::VertexId v, uint32_t lane) {
+            sim::PhaseAccumulator& a = accs[lane];
+            const sim::MachineId master = masks.master_machine[v];
+            a.AddWorkUnits(master, 4);
+            const bool signal =
+                app.Apply(v, acc[v], has_gather[v] != 0, ctx, &state[v]);
+            if (signal) signaled.SetAtomic(v);
 
-      uint64_t master_bit = 1ULL << master;
-      bool low_degree = (in_degree[v] + out_degree[v]) <=
-                        options.high_degree_threshold;
+            const uint64_t master_bit = 1ULL << master;
 
-      if (kind == EngineKind::kGraphXPregel) {
-        // Shuffle-block serialization per edge-partition touched (see the
-        // gather_partition_count comment above).
-        double blocks =
-            static_cast<double>(gather_partition_count[v]) +
-            (signal ? static_cast<double>(scatter_partition_count[v]) : 0);
-        cluster.machine(master).AddWork(0.8 * work_mul * blocks);
-      }
+            // Gather messages: mirrors -> master, a round trip each (the
+            // master activates the mirror, the mirror returns its partial
+            // aggregate and pays serialization work).
+            uint64_t gm =
+                kind == EngineKind::kPowerGraphSync
+                    ? masks.replicas[v] & ~master_bit
+                    : internal::DirectionMask(masks, App::kGatherDir, v) &
+                          ~master_bit;
+            while (gm != 0) {
+              sim::MachineId src =
+                  static_cast<sim::MachineId>(std::countr_zero(gm));
+              gm &= gm - 1;
+              a.ChargeSendBytes(master, sizes.control_message);
+              a.ChargeReceiveBytes(src, sizes.control_message);
+              a.ChargeSendBytes(src, sizes.gather_message);
+              a.ChargeReceiveBytes(master, sizes.gather_message);
+              a.AddWorkUnits(src, 1);
+            }
 
-      // Gather messages: mirrors -> master.
-      uint64_t gather_mask;
-      if (kind == EngineKind::kPowerGraphSync) {
-        gather_mask = masks.replicas[v] & ~master_bit;
-      } else {
-        gather_mask =
-            internal::DirectionMask(masks, App::kGatherDir, v) & ~master_bit;
-      }
-      uint64_t gm = gather_mask;
-      while (gm != 0) {
-        sim::MachineId src =
-            static_cast<sim::MachineId>(std::countr_zero(gm));
-        gm &= gm - 1;
-        // Distributed gather is a round trip: the master activates the
-        // mirror (control) and the mirror returns its partial aggregate.
-        cluster.machine(master).ChargePhaseBytes(sizes.control_message);
-        cluster.machine(src).ReceiveBytes(sizes.control_message);
-        cluster.machine(src).ChargePhaseBytes(sizes.gather_message);
-        cluster.machine(master).ReceiveBytes(sizes.gather_message);
-        cluster.machine(src).AddWork(0.25 * work_mul);  // serialize
-      }
+            // State synchronization: master -> mirrors (only when state
+            // changed; always for always-signaling apps like PageRank).
+            if (signal) {
+              const bool low_degree = (in_degree[v] + out_degree[v]) <=
+                                      options.high_degree_threshold;
+              uint64_t sm =
+                  kind == EngineKind::kPowerGraphSync
+                      ? masks.replicas[v] & ~master_bit
+                      : (low_degree ? internal::DirectionMask(
+                                          masks, App::kScatterDir, v) &
+                                          ~master_bit
+                                    : masks.replicas[v] & ~master_bit);
+              while (sm != 0) {
+                sim::MachineId dst =
+                    static_cast<sim::MachineId>(std::countr_zero(sm));
+                sm &= sm - 1;
+                a.ChargeSendBytes(master, sizes.sync_message);
+                a.ChargeReceiveBytes(dst, sizes.sync_message);
+                a.AddWorkUnits(master, 1);
+              }
+            }
+          });
+      flush_accs();
+    } else {
+      // Parallel computation (per-vertex state updates are independent and
+      // order-free), then a serial replay of the serial engine's apply
+      // accounting in ascending vertex order — required because GraphX's
+      // shuffle-block charge and exotic multipliers are order-sensitive.
+      for_each_frontier(active, active_count,
+                        [&](graph::VertexId v, uint32_t) {
+                          if (app.Apply(v, acc[v], has_gather[v] != 0, ctx,
+                                        &state[v])) {
+                            signaled.SetAtomic(v);
+                          }
+                        });
+      for (graph::VertexId v = 0; v < n; ++v) {
+        if (!active.Test(v)) continue;
+        const sim::MachineId master = masks.master_machine[v];
+        cluster.machine(master).AddWork(work_mul);
+        const bool signal = signaled.Test(v);
 
-      // State synchronization: master -> mirrors (only when state changed;
-      // for always-signaling apps like PageRank this is every superstep).
-      if (signal) {
-        uint64_t sync_mask = 0;
-        switch (kind) {
-          case EngineKind::kPowerGraphSync:
-            sync_mask = masks.replicas[v] & ~master_bit;
-            break;
-          case EngineKind::kPowerLyraHybrid:
-            sync_mask = low_degree
-                            ? internal::DirectionMask(
-                                  masks, App::kScatterDir, v) &
-                                  ~master_bit
-                            : masks.replicas[v] & ~master_bit;
-            break;
-          case EngineKind::kGraphXPregel:
-            sync_mask = internal::DirectionMask(masks, App::kScatterDir, v) &
-                        ~master_bit;
-            break;
+        const uint64_t master_bit = 1ULL << master;
+        const bool low_degree = (in_degree[v] + out_degree[v]) <=
+                                options.high_degree_threshold;
+
+        if (kind == EngineKind::kGraphXPregel) {
+          // Shuffle-block serialization per edge-partition touched (see
+          // the ExecutionPlan fan-out comment).
+          double blocks =
+              static_cast<double>(plan.gather_partition_count[v]) +
+              (signal ? static_cast<double>(plan.scatter_partition_count[v])
+                      : 0);
+          cluster.machine(master).AddWork(0.8 * work_mul * blocks);
         }
-        uint64_t sm = sync_mask;
-        while (sm != 0) {
-          sim::MachineId dst =
-              static_cast<sim::MachineId>(std::countr_zero(sm));
-          sm &= sm - 1;
-          cluster.machine(master).ChargePhaseBytes(sizes.sync_message);
-          cluster.machine(dst).ReceiveBytes(sizes.sync_message);
-          cluster.machine(master).AddWork(0.25 * work_mul);
+
+        uint64_t gm =
+            kind == EngineKind::kPowerGraphSync
+                ? masks.replicas[v] & ~master_bit
+                : internal::DirectionMask(masks, App::kGatherDir, v) &
+                      ~master_bit;
+        while (gm != 0) {
+          sim::MachineId src =
+              static_cast<sim::MachineId>(std::countr_zero(gm));
+          gm &= gm - 1;
+          cluster.machine(master).ChargePhaseBytes(sizes.control_message);
+          cluster.machine(src).ReceiveBytes(sizes.control_message);
+          cluster.machine(src).ChargePhaseBytes(sizes.gather_message);
+          cluster.machine(master).ReceiveBytes(sizes.gather_message);
+          cluster.machine(src).AddWork(0.25 * work_mul);  // serialize
+        }
+
+        if (signal) {
+          uint64_t sm = 0;
+          switch (kind) {
+            case EngineKind::kPowerGraphSync:
+              sm = masks.replicas[v] & ~master_bit;
+              break;
+            case EngineKind::kPowerLyraHybrid:
+              sm = low_degree
+                       ? internal::DirectionMask(masks, App::kScatterDir,
+                                                 v) &
+                             ~master_bit
+                       : masks.replicas[v] & ~master_bit;
+              break;
+            case EngineKind::kGraphXPregel:
+              sm = internal::DirectionMask(masks, App::kScatterDir, v) &
+                   ~master_bit;
+              break;
+          }
+          while (sm != 0) {
+            sim::MachineId dst =
+                static_cast<sim::MachineId>(std::countr_zero(sm));
+            sm &= sm - 1;
+            cluster.machine(master).ChargePhaseBytes(sizes.sync_message);
+            cluster.machine(dst).ReceiveBytes(sizes.sync_message);
+            cluster.machine(master).AddWork(0.25 * work_mul);
+          }
         }
       }
     }
+    const uint64_t signaled_count = signaled.CountSet();
 
-    // ---- Scatter minor-step ------------------------------------------------
-    std::fill(next_active.begin(), next_active.end(), false);
-    if (signaled_count > 0) run_scatter(signaled, next_active);
+    // ---- Scatter minor-step ----------------------------------------------
+    next_active.ClearAll();
+    if (signaled_count > 0) {
+      if (fast_accounting) {
+        scatter_frontier(signaled, signaled_count, next_active);
+        flush_accs();
+      } else {
+        scatter_serial(signaled, next_active);
+      }
+    }
 
     // Three minor-step barriers per superstep (§5.1.2).
     cluster.EndPhase();
-    cluster.AdvanceSeconds(2 *
-                           cluster.cost_model().barrier_latency_seconds);
+    cluster.AdvanceSeconds(2 * cluster.cost_model().barrier_latency_seconds);
     stats.cumulative_seconds.push_back(cluster.now_seconds() -
                                        compute_start);
     if (options.timeline != nullptr) options.timeline->Sample(cluster);
-    active.swap(next_active);
+    std::swap(active, next_active);
   }
 
   stats.iterations = iteration;
   if (!stats.converged && iteration == options.max_iterations) {
     // Ran to the iteration cap; report whether anything is still active.
-    bool any_active = false;
-    for (graph::VertexId v = 0; v < n; ++v) any_active |= active[v];
-    stats.converged = !any_active;
+    stats.converged = !active.AnySet();
   }
   stats.compute_seconds = cluster.now_seconds() - compute_start;
   stats.network_bytes = cluster.TotalBytesSent() - bytes_sent_start;
@@ -374,6 +483,17 @@ GasRunResult<App> RunGasEngine(EngineKind kind,
   }
   stats.mean_inbound_bytes_per_machine = inbound_total / dg.num_machines;
   return result;
+}
+
+template <GasApplication App>
+GasRunResult<App> RunGasEngine(EngineKind kind,
+                               const partition::DistributedGraph& dg,
+                               sim::Cluster& cluster, App app,
+                               const RunOptions& options) {
+  const ExecutionPlan plan =
+      ExecutionPlan::Build(dg, App::kGatherDir, App::kScatterDir,
+                           kind == EngineKind::kGraphXPregel);
+  return RunGasEngine(kind, plan, cluster, std::move(app), options);
 }
 
 }  // namespace gdp::engine

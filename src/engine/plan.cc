@@ -1,0 +1,159 @@
+#include "engine/plan.h"
+
+#include "util/check.h"
+
+namespace gdp::engine {
+
+namespace internal {
+
+MachineMasks MachineMasks::Build(const partition::DistributedGraph& dg) {
+  MachineMasks masks;
+  const graph::VertexId n = dg.num_vertices;
+  masks.replicas.assign(n, 0);
+  masks.in_edges.assign(n, 0);
+  masks.out_edges.assign(n, 0);
+  masks.master_machine.assign(n, 0);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (!dg.present[v]) continue;
+    uint64_t replica_mask = 0;
+    dg.replicas.ForEach(v, [&](sim::MachineId p) {
+      replica_mask |= 1ULL << (p % dg.num_machines);
+    });
+    uint64_t in_mask = 0;
+    dg.in_edge_partitions.ForEach(v, [&](sim::MachineId p) {
+      in_mask |= 1ULL << (p % dg.num_machines);
+    });
+    uint64_t out_mask = 0;
+    dg.out_edge_partitions.ForEach(v, [&](sim::MachineId p) {
+      out_mask |= 1ULL << (p % dg.num_machines);
+    });
+    masks.replicas[v] = replica_mask;
+    masks.in_edges[v] = in_mask;
+    masks.out_edges[v] = out_mask;
+    masks.master_machine[v] = dg.master[v] % dg.num_machines;
+  }
+  return masks;
+}
+
+}  // namespace internal
+
+ExecutionPlan ExecutionPlan::Build(const partition::DistributedGraph& dg,
+                                   EdgeDirection gather_dir,
+                                   EdgeDirection scatter_dir,
+                                   bool graphx_counts) {
+  GDP_CHECK_LE(dg.num_machines, 64u);
+  ExecutionPlan plan;
+  plan.dg = &dg;
+  plan.gather_dir = gather_dir;
+  plan.scatter_dir = scatter_dir;
+
+  const graph::VertexId n = dg.num_vertices;
+  const uint64_t num_edges = dg.edges.size();
+
+  if (!dg.HasDegreeCache()) {
+    plan.owned_out_degree_.assign(n, 0);
+    plan.owned_in_degree_.assign(n, 0);
+    for (const graph::Edge& e : dg.edges) {
+      ++plan.owned_out_degree_[e.src];
+      ++plan.owned_in_degree_[e.dst];
+    }
+  }
+
+  plan.masks = internal::MachineMasks::Build(dg);
+
+  plan.edge_machine.resize(num_edges);
+  plan.machine_edge_count.assign(dg.num_machines == 0 ? 1 : dg.num_machines,
+                                 0);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    const uint8_t m =
+        static_cast<uint8_t>(dg.edge_partition[i] % dg.num_machines);
+    plan.edge_machine[i] = m;
+    ++plan.machine_edge_count[m];
+  }
+
+  const bool gather_in = IncludesIn(gather_dir);
+  const bool gather_out = IncludesOut(gather_dir);
+  const bool scatter_in = IncludesIn(scatter_dir);
+  const bool scatter_out = IncludesOut(scatter_dir);
+
+  // Counting pass for both CSRs. Gather: center e.dst folds e.src when the
+  // app gathers over in-edges, center e.src folds e.dst for out-edges.
+  // Scatter: signaled e.src wakes e.dst over out-edges, signaled e.dst
+  // wakes e.src over in-edges.
+  std::vector<uint64_t> gather_count(n, 0);
+  std::vector<uint64_t> scatter_count(n, 0);
+  for (const graph::Edge& e : dg.edges) {
+    if (gather_in) ++gather_count[e.dst];
+    if (gather_out) ++gather_count[e.src];
+    if (scatter_out) ++scatter_count[e.src];
+    if (scatter_in) ++scatter_count[e.dst];
+  }
+
+  plan.gather_offsets.assign(n + 1, 0);
+  plan.scatter_offsets.assign(n + 1, 0);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    plan.gather_offsets[v + 1] = plan.gather_offsets[v] + gather_count[v];
+    plan.scatter_offsets[v + 1] = plan.scatter_offsets[v] + scatter_count[v];
+  }
+  plan.gather_nbr.resize(plan.gather_offsets[n]);
+  plan.gather_machine.resize(plan.gather_offsets[n]);
+  plan.scatter_target.resize(plan.scatter_offsets[n]);
+  plan.scatter_machine.resize(plan.scatter_offsets[n]);
+
+  // Fill pass in ORIGINAL edge order, with the in-direction (dst-center)
+  // entry of an edge appended before its out-direction (src-center) entry.
+  // This matches the serial engine's edge scan, which handles gather_dst
+  // before gather_src within each edge — required for bit-identical
+  // floating-point gather folds (see the struct comment).
+  std::vector<uint64_t> gather_fill(n, 0);
+  std::vector<uint64_t> scatter_fill(n, 0);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    const graph::Edge& e = dg.edges[i];
+    const uint8_t m = plan.edge_machine[i];
+    if (gather_in) {
+      const uint64_t slot = plan.gather_offsets[e.dst] + gather_fill[e.dst]++;
+      plan.gather_nbr[slot] = e.src;
+      plan.gather_machine[slot] = m;
+    }
+    if (gather_out) {
+      const uint64_t slot = plan.gather_offsets[e.src] + gather_fill[e.src]++;
+      plan.gather_nbr[slot] = e.dst;
+      plan.gather_machine[slot] = m;
+    }
+    if (scatter_out) {
+      const uint64_t slot =
+          plan.scatter_offsets[e.src] + scatter_fill[e.src]++;
+      plan.scatter_target[slot] = e.dst;
+      plan.scatter_machine[slot] = m;
+    }
+    if (scatter_in) {
+      const uint64_t slot =
+          plan.scatter_offsets[e.dst] + scatter_fill[e.dst]++;
+      plan.scatter_target[slot] = e.src;
+      plan.scatter_machine[slot] = m;
+    }
+  }
+
+  if (graphx_counts) {
+    plan.gather_partition_count.assign(n, 0);
+    plan.scatter_partition_count.assign(n, 0);
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (!dg.present[v]) continue;
+      uint32_t in = dg.in_edge_partitions.Count(v);
+      uint32_t out = dg.out_edge_partitions.Count(v);
+      uint32_t gather = 0, scatter = 0;
+      if (gather_in) gather += in;
+      if (gather_out) gather += out;
+      if (scatter_in) scatter += in;
+      if (scatter_out) scatter += out;
+      plan.gather_partition_count[v] =
+          static_cast<uint16_t>(gather > 65535 ? 65535 : gather);
+      plan.scatter_partition_count[v] =
+          static_cast<uint16_t>(scatter > 65535 ? 65535 : scatter);
+    }
+  }
+
+  return plan;
+}
+
+}  // namespace gdp::engine

@@ -1,0 +1,120 @@
+#ifndef GDP_ENGINE_PLAN_H_
+#define GDP_ENGINE_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/gas_app.h"
+#include "partition/distributed_graph.h"
+#include "sim/cluster.h"
+
+namespace gdp::engine {
+
+namespace internal {
+
+/// Per-vertex placement data folded down to machine bitmasks (<= 64
+/// machines), precomputed once per plan: message counting then reduces to
+/// popcounts.
+struct MachineMasks {
+  std::vector<uint64_t> replicas;
+  std::vector<uint64_t> in_edges;
+  std::vector<uint64_t> out_edges;
+  std::vector<sim::MachineId> master_machine;
+
+  static MachineMasks Build(const partition::DistributedGraph& dg);
+};
+
+/// Gather/scatter-direction machine mask for vertex v.
+inline uint64_t DirectionMask(const MachineMasks& masks, EdgeDirection dir,
+                              graph::VertexId v) {
+  uint64_t m = 0;
+  if (IncludesIn(dir)) m |= masks.in_edges[v];
+  if (IncludesOut(dir)) m |= masks.out_edges[v];
+  return m;
+}
+
+}  // namespace internal
+
+/// Everything the superstep loop needs that is a pure function of the
+/// partitioned graph and the application's edge directions, precomputed
+/// once instead of per-run/per-superstep:
+///
+///  - per-direction CSR adjacency over the partitioned edges, each entry
+///    tagged with the simulated machine hosting the edge (its bucket), so
+///    gather/scatter traverse only the frontier's adjacency instead of
+///    scanning the whole edge vector;
+///  - cached degrees (reusing partition::DistributedGraph's cache when the
+///    builder filled it);
+///  - the placement bitmasks (MachineMasks) message counting runs on;
+///  - GraphX's per-partition fan-out counts (shuffle-block accounting).
+///
+/// A plan borrows the DistributedGraph: the graph must outlive it. Plans
+/// are immutable after Build, so one plan can back any number of engine
+/// runs (and is read concurrently by engine worker threads).
+///
+/// Determinism note (load-bearing): gather adjacency entries for one center
+/// are stored in *original edge order*, with the in-direction entry of an
+/// edge preceding its out-direction entry. The restriction of the serial
+/// engine's global edge scan to one center's edges is exactly this order,
+/// so folding a center's neighbors through the CSR reproduces the serial
+/// engine's floating-point gather results bit-for-bit.
+struct ExecutionPlan {
+  const partition::DistributedGraph* dg = nullptr;
+  EdgeDirection gather_dir = EdgeDirection::kNone;
+  EdgeDirection scatter_dir = EdgeDirection::kNone;
+
+  internal::MachineMasks masks;
+
+  /// Machine hosting edge i (dg->edge_partition[i] % num_machines).
+  std::vector<uint8_t> edge_machine;
+  /// Edges hosted per machine (bucket sizes).
+  std::vector<uint64_t> machine_edge_count;
+
+  /// Gather CSR: for center v, entries [gather_offsets[v],
+  /// gather_offsets[v+1]) name the neighbor whose state v folds and the
+  /// machine charged for the fold.
+  std::vector<uint64_t> gather_offsets;
+  std::vector<graph::VertexId> gather_nbr;
+  std::vector<uint8_t> gather_machine;
+
+  /// Scatter CSR: for signaled center v, entries name the neighbor woken
+  /// into the next frontier and the machine charged for the scatter.
+  std::vector<uint64_t> scatter_offsets;
+  std::vector<graph::VertexId> scatter_target;
+  std::vector<uint8_t> scatter_machine;
+
+  /// GraphX-only per-PARTITION fan-out counts (empty otherwise): Spark
+  /// materializes one shuffle block per (vertex, edge-partition) pair, so
+  /// its compute cost tracks partition-level replication even when
+  /// partitions share machines (§7.4).
+  std::vector<uint16_t> gather_partition_count;
+  std::vector<uint16_t> scatter_partition_count;
+
+  /// Degrees for the application context: dg's ingest-time cache when it
+  /// was built, otherwise the plan's own fallback copy.
+  const std::vector<uint64_t>& out_degrees() const {
+    return owned_out_degree_.empty() && dg->HasDegreeCache()
+               ? dg->out_degree
+               : owned_out_degree_;
+  }
+  const std::vector<uint64_t>& in_degrees() const {
+    return owned_in_degree_.empty() && dg->HasDegreeCache()
+               ? dg->in_degree
+               : owned_in_degree_;
+  }
+
+  /// Builds a plan for the given directions. `graphx_counts` additionally
+  /// builds the per-partition fan-out tables (EngineKind::kGraphXPregel).
+  static ExecutionPlan Build(const partition::DistributedGraph& dg,
+                             EdgeDirection gather_dir,
+                             EdgeDirection scatter_dir, bool graphx_counts);
+
+ private:
+  // Fallback degree storage when dg lacks the cache (hand-built graphs).
+  std::vector<uint64_t> owned_out_degree_;
+  std::vector<uint64_t> owned_in_degree_;
+};
+
+}  // namespace gdp::engine
+
+#endif  // GDP_ENGINE_PLAN_H_

@@ -20,6 +20,10 @@ struct RunOptions {
   /// When set, the engine records a resource sample after every superstep
   /// (the paper's 1 Hz psutil monitors, Fig 6.3).
   sim::Timeline* timeline = nullptr;
+  /// Real execution lanes for the parallel engine (0 = hardware default).
+  /// Simulated costs are bit-identical at every setting; 1 reproduces the
+  /// original serial engine's execution exactly.
+  uint32_t num_threads = 0;
 };
 
 /// What one application run cost — the paper's "computation time" metric

@@ -4,6 +4,15 @@
 
 namespace gdp::partition {
 
+void DistributedGraph::BuildDegreeCache() {
+  out_degree.assign(num_vertices, 0);
+  in_degree.assign(num_vertices, 0);
+  for (const graph::Edge& e : edges) {
+    ++out_degree[e.src];
+    ++in_degree[e.dst];
+  }
+}
+
 double DistributedGraph::EdgeBalanceRatio() const {
   if (partition_edge_count.empty() || edges.empty()) return 1.0;
   uint64_t max_count = *std::max_element(partition_edge_count.begin(),

@@ -179,6 +179,7 @@ IngestResult Ingest(const graph::EdgeList& edges, Partitioner& partitioner,
     replica_total += dg.replicas.Count(v);
   }
   dg.num_present_vertices = present_count;
+  dg.BuildDegreeCache();
   dg.replication_factor =
       present_count > 0
           ? static_cast<double>(replica_total) / present_count

@@ -123,6 +123,35 @@ util::Status ValidatePlacement(const DistributedGraph& dg) {
           std::to_string(recount[p]));
     }
   }
+
+  // Degree caches are optional, but when present they must agree with the
+  // edge vector (a stale cache silently skews engine message accounting).
+  if (!dg.out_degree.empty() || !dg.in_degree.empty()) {
+    if (!dg.HasDegreeCache()) {
+      return util::Status::FailedPrecondition(
+          "placement: degree cache sized " +
+          std::to_string(dg.out_degree.size()) + "/" +
+          std::to_string(dg.in_degree.size()) + " for " +
+          std::to_string(dg.num_vertices) + " vertices");
+    }
+    std::vector<uint64_t> out_recount(dg.num_vertices, 0);
+    std::vector<uint64_t> in_recount(dg.num_vertices, 0);
+    for (const graph::Edge& e : dg.edges) {
+      ++out_recount[e.src];
+      ++in_recount[e.dst];
+    }
+    for (graph::VertexId v = 0; v < dg.num_vertices; ++v) {
+      if (out_recount[v] != dg.out_degree[v] ||
+          in_recount[v] != dg.in_degree[v]) {
+        return util::Status::FailedPrecondition(
+            "placement: " + VertexStr(v) + " cached degrees " +
+            std::to_string(dg.out_degree[v]) + "/" +
+            std::to_string(dg.in_degree[v]) + " but edges give " +
+            std::to_string(out_recount[v]) + "/" +
+            std::to_string(in_recount[v]));
+      }
+    }
+  }
   return util::Status::Ok();
 }
 

@@ -30,7 +30,7 @@ class Machine {
     }
   }
   void Free(uint64_t bytes) {
-    memory_bytes_ -= bytes < memory_bytes_ ? bytes : memory_bytes_;
+    memory_bytes_ -= bytes <= memory_bytes_ ? bytes : memory_bytes_;
   }
 
   uint64_t bytes_sent() const { return bytes_sent_; }

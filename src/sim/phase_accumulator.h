@@ -1,0 +1,84 @@
+#ifndef GDP_SIM_PHASE_ACCUMULATOR_H_
+#define GDP_SIM_PHASE_ACCUMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cluster.h"
+
+namespace gdp::sim {
+
+/// Per-thread accounting scratch for one parallel engine minor-step.
+///
+/// The parallel GAS engine must produce *bit-identical* simulated costs at
+/// any thread count, including the costs the original serial engine
+/// produced. Floating-point sums are order-sensitive, so threads never call
+/// Machine::AddWork directly; instead each lane counts exact integers here
+/// and the engine merges + flushes them on one thread at the end of the
+/// minor-step:
+///
+///  - Bytes are integers: any merge order gives the same totals.
+///  - Compute work is only ever charged in multiples of 0.25x the run's
+///    work multiplier (1x per gather/apply/scatter event, 0.25x per
+///    message serialization), so lanes count integer *quarter units*.
+///
+/// Flushing converts units back to a double charge two ways:
+///  - FlushTo: one AddWork(units * unit_value) per machine. When
+///    ClosedFormExact(unit_value, max units) holds (unit_value's mantissa is
+///    narrow enough that every partial sum is exactly representable — true
+///    for the default work_multiplier 1.0 and any power of two), this is
+///    bit-identical to the serial engine's charge-by-charge accumulation.
+///  - FlushToReplay: `units / 4` repeated AddWork(4 * unit_value) calls per
+///    machine, reproducing the serial engine's exact rounding sequence for
+///    arbitrary multipliers when every charge was a whole work unit (the
+///    gather step). O(events), but only exotic multipliers need it.
+class PhaseAccumulator {
+ public:
+  /// Prepares the accumulator for `num_machines` machines, zeroing it.
+  void Reset(uint32_t num_machines);
+
+  /// Charges `quarter_units` x (0.25 * work_multiplier) of compute work.
+  void AddWorkUnits(MachineId m, uint64_t quarter_units) {
+    work_units_[m] += quarter_units;
+  }
+  /// Counts bytes the machine sends this phase (Machine::ChargePhaseBytes).
+  void ChargeSendBytes(MachineId m, uint64_t bytes) {
+    sent_bytes_[m] += bytes;
+  }
+  /// Counts bytes the machine receives (Machine::ReceiveBytes).
+  void ChargeReceiveBytes(MachineId m, uint64_t bytes) {
+    recv_bytes_[m] += bytes;
+  }
+
+  /// Adds another lane's counts into this one. Integer sums, so merge order
+  /// never affects the flushed result.
+  void Merge(const PhaseAccumulator& other);
+
+  /// Flushes to the cluster in machine order with one closed-form AddWork
+  /// per machine; see class comment for when this is exact.
+  void FlushTo(Cluster& cluster, double unit_value) const;
+
+  /// Flushes bytes like FlushTo but replays work as units/4 additions of
+  /// `4 * unit_value`, matching the serial engine's rounding for arbitrary
+  /// unit values. Requires every machine's units to be a multiple of 4.
+  void FlushToReplay(Cluster& cluster, double unit_value) const;
+
+  uint64_t work_units(MachineId m) const { return work_units_[m]; }
+  uint64_t sent_bytes(MachineId m) const { return sent_bytes_[m]; }
+  uint64_t recv_bytes(MachineId m) const { return recv_bytes_[m]; }
+
+  /// True when summing up to `max_units` charges of `unit_value` is exact
+  /// under any association — i.e. unit_value = m * 2^e with
+  /// bit_width(max_units) + bit_width(m) <= 53 — which makes FlushTo
+  /// bit-identical to charge-by-charge serial accumulation.
+  static bool ClosedFormExact(double unit_value, uint64_t max_units);
+
+ private:
+  std::vector<uint64_t> work_units_;
+  std::vector<uint64_t> sent_bytes_;
+  std::vector<uint64_t> recv_bytes_;
+};
+
+}  // namespace gdp::sim
+
+#endif  // GDP_SIM_PHASE_ACCUMULATOR_H_

@@ -1,0 +1,113 @@
+#ifndef GDP_UTIL_DENSE_BITSET_H_
+#define GDP_UTIL_DENSE_BITSET_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gdp::util {
+
+/// Fixed-size bitset for engine frontiers (active / signaled / next-active
+/// vertex sets). Unlike std::vector<bool> it exposes the word array, so
+/// iteration over set bits skips empty regions 64 vertices at a time and a
+/// popcount costs one instruction per word — the standard representation in
+/// graph engines (PowerGraph's dense_bitset). Concurrent writers from a
+/// parallel scatter use SetAtomic, which is safe on overlapping words;
+/// everything else is single-writer.
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(uint64_t size) { Resize(size); }
+
+  /// Resizes to `size` bits, all zero (previous contents discarded).
+  void Resize(uint64_t size) {
+    size_ = size;
+    words_.assign((size + 63) / 64, 0);
+  }
+
+  uint64_t size() const { return size_; }
+  uint64_t num_words() const { return words_.size(); }
+
+  bool Test(uint64_t i) const {
+    GDP_DCHECK_LT(i, size_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Single-writer set/reset (no other thread may touch bit i's word).
+  void Set(uint64_t i) {
+    GDP_DCHECK_LT(i, size_);
+    words_[i >> 6] |= 1ULL << (i & 63);
+  }
+  void Reset(uint64_t i) {
+    GDP_DCHECK_LT(i, size_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  /// Concurrent-safe set (relaxed fetch_or): idempotent and commutative, so
+  /// the final bitset is independent of thread interleaving.
+  void SetAtomic(uint64_t i) {
+    GDP_DCHECK_LT(i, size_);
+    std::atomic_ref<uint64_t> word(words_[i >> 6]);
+    word.fetch_or(1ULL << (i & 63), std::memory_order_relaxed);
+  }
+
+  void ClearAll() {
+    if (!words_.empty()) {
+      std::memset(words_.data(), 0, words_.size() * sizeof(uint64_t));
+    }
+  }
+
+  uint64_t CountSet() const {
+    uint64_t count = 0;
+    for (uint64_t w : words_) count += std::popcount(w);
+    return count;
+  }
+
+  bool AnySet() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  /// Calls fn(index) for every set bit, ascending.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    ForEachSetInWordRange(0, words_.size(), fn);
+  }
+
+  /// Calls fn(index) for every set bit whose word lies in
+  /// [word_begin, word_end), ascending. Lets callers shard iteration into
+  /// word-aligned blocks whose bit sets never overlap.
+  template <typename Fn>
+  void ForEachSetInWordRange(uint64_t word_begin, uint64_t word_end,
+                             Fn&& fn) const {
+    GDP_DCHECK_LE(word_end, words_.size());
+    for (uint64_t w = word_begin; w < word_end; ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        uint64_t i = (w << 6) + static_cast<uint64_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        fn(i);
+      }
+    }
+  }
+
+  /// Appends every set index to `out`, ascending (the sparse-frontier list).
+  template <typename Int>
+  void AppendSetBits(std::vector<Int>* out) const {
+    ForEachSet([out](uint64_t i) { out->push_back(static_cast<Int>(i)); });
+  }
+
+ private:
+  uint64_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace gdp::util
+
+#endif  // GDP_UTIL_DENSE_BITSET_H_

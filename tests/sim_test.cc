@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/cluster.h"
+#include "sim/phase_accumulator.h"
 #include "sim/cost_model.h"
 #include "sim/timeline.h"
 
@@ -141,6 +142,93 @@ TEST(TimelineTest, MarksAndPeak) {
   EXPECT_DOUBLE_EQ(timeline.MarkTime("nope"), -1.0);
   EXPECT_DOUBLE_EQ(timeline.PeakMeanMemory(), 500.0);
   EXPECT_DOUBLE_EQ(timeline.PeakMeanMemoryTime(), 0.0);
+}
+
+
+// ---------------------------------------------------------------------------
+// Machine allocate/free symmetry
+// ---------------------------------------------------------------------------
+
+TEST(MachineTest, FreeOfExactAllocationReturnsToZero) {
+  Machine m;
+  m.Allocate(4096);
+  m.Free(4096);  // an exact refund must not leave a stuck byte
+  EXPECT_EQ(m.memory_bytes(), 0u);
+  EXPECT_EQ(m.peak_memory_bytes(), 4096u);
+}
+
+TEST(MachineTest, InterleavedAllocateFreePairsBalance) {
+  Machine m;
+  for (uint64_t bytes : {64u, 48u, 16u, 24u}) m.Allocate(bytes);
+  for (uint64_t bytes : {24u, 16u, 48u, 64u}) m.Free(bytes);
+  EXPECT_EQ(m.memory_bytes(), 0u);
+  m.Allocate(100);
+  EXPECT_EQ(m.memory_bytes(), 100u);
+  EXPECT_EQ(m.peak_memory_bytes(), 152u);
+}
+
+// ---------------------------------------------------------------------------
+// PhaseAccumulator
+// ---------------------------------------------------------------------------
+
+TEST(PhaseAccumulatorTest, MergeIsOrderFree) {
+  PhaseAccumulator a, b;
+  a.Reset(2);
+  b.Reset(2);
+  a.AddWorkUnits(0, 5);
+  a.ChargeSendBytes(1, 100);
+  b.AddWorkUnits(0, 7);
+  b.ChargeReceiveBytes(0, 30);
+  PhaseAccumulator a2 = a, b2 = b;
+  a.Merge(b);
+  b2.Merge(a2);
+  for (MachineId m = 0; m < 2; ++m) {
+    EXPECT_EQ(a.work_units(m), b2.work_units(m));
+    EXPECT_EQ(a.sent_bytes(m), b2.sent_bytes(m));
+    EXPECT_EQ(a.recv_bytes(m), b2.recv_bytes(m));
+  }
+}
+
+TEST(PhaseAccumulatorTest, FlushToChargesClusterOnce) {
+  Cluster cluster(2, CostModel{});
+  PhaseAccumulator acc;
+  acc.Reset(2);
+  acc.AddWorkUnits(0, 8);          // 8 quarter-units = 2.0 work at unit 0.25
+  acc.ChargeSendBytes(0, 1000);
+  acc.ChargeReceiveBytes(1, 1000);
+  acc.FlushTo(cluster, 0.25);
+  EXPECT_DOUBLE_EQ(cluster.machine(0).phase_work(), 2.0);
+  EXPECT_EQ(cluster.machine(0).phase_bytes(), 1000u);
+  EXPECT_EQ(cluster.machine(0).bytes_sent(), 1000u);
+  EXPECT_EQ(cluster.machine(1).bytes_received(), 1000u);
+}
+
+TEST(PhaseAccumulatorTest, FlushToReplayMatchesSerialAccumulation) {
+  // Replay of k whole-unit charges must reproduce serial += exactly, even
+  // for a unit value whose repeated sum is inexact.
+  const double work = 0.3;
+  const int k = 1000;
+  Cluster serial(1, CostModel{});
+  for (int i = 0; i < k; ++i) serial.machine(0).AddWork(work);
+
+  Cluster replayed(1, CostModel{});
+  PhaseAccumulator acc;
+  acc.Reset(1);
+  acc.AddWorkUnits(0, 4 * k);
+  acc.FlushToReplay(replayed, 0.25 * work);
+  EXPECT_EQ(replayed.machine(0).phase_work(), serial.machine(0).phase_work());
+}
+
+TEST(PhaseAccumulatorTest, ClosedFormExactForDyadicUnits) {
+  // 0.25 = 1 * 2^-2: one mantissa bit, exact up to huge counts.
+  EXPECT_TRUE(PhaseAccumulator::ClosedFormExact(0.25, 1ULL << 50));
+  EXPECT_TRUE(PhaseAccumulator::ClosedFormExact(1.0, 1ULL << 50));
+  EXPECT_TRUE(PhaseAccumulator::ClosedFormExact(0.0, 1ULL << 60));
+  // 0.3 uses the full 53-bit mantissa: only trivial counts are exact.
+  EXPECT_FALSE(PhaseAccumulator::ClosedFormExact(0.3, 1ULL << 20));
+  // 0.75 = 3 * 2^-2: two mantissa bits, still exact for realistic counts.
+  EXPECT_TRUE(PhaseAccumulator::ClosedFormExact(0.75, 1ULL << 50));
+  EXPECT_FALSE(PhaseAccumulator::ClosedFormExact(0.75, 1ULL << 52));
 }
 
 }  // namespace

@@ -4,7 +4,12 @@
 #include <map>
 #include <set>
 
+#include <atomic>
+#include <vector>
+
 #include "util/check.h"
+#include "util/dense_bitset.h"
+#include "util/thread_pool.h"
 #include "util/hash.h"
 #include "util/random.h"
 #include "util/stats.h"
@@ -327,6 +332,111 @@ TEST(TableTest, MarkdownHasSeparatorRow) {
 TEST(TableTest, NumFormatsPrecision) {
   EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
   EXPECT_EQ(Table::Num(2.0, 0), "2");
+}
+
+
+// ---------------------------------------------------------------------------
+// DenseBitset
+// ---------------------------------------------------------------------------
+
+TEST(DenseBitsetTest, SetTestResetAndCount) {
+  DenseBitset bits(200);
+  EXPECT_EQ(bits.size(), 200u);
+  EXPECT_EQ(bits.CountSet(), 0u);
+  EXPECT_FALSE(bits.AnySet());
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(199);
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_FALSE(bits.Test(65));
+  EXPECT_EQ(bits.CountSet(), 4u);
+  EXPECT_TRUE(bits.AnySet());
+  bits.Reset(63);
+  EXPECT_FALSE(bits.Test(63));
+  EXPECT_EQ(bits.CountSet(), 3u);
+  bits.ClearAll();
+  EXPECT_EQ(bits.CountSet(), 0u);
+}
+
+TEST(DenseBitsetTest, ForEachSetAscendingAndWordRanges) {
+  DenseBitset bits(300);
+  std::vector<uint64_t> expected = {1, 63, 64, 128, 192, 299};
+  for (uint64_t i : expected) bits.Set(i);
+
+  std::vector<uint64_t> seen;
+  bits.ForEachSet([&](uint64_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+
+  // Word-sharded iteration covers every bit exactly once.
+  std::vector<uint64_t> sharded;
+  for (uint64_t w = 0; w < bits.num_words(); w += 2) {
+    bits.ForEachSetInWordRange(w, std::min(w + 2, bits.num_words()),
+                               [&](uint64_t i) { sharded.push_back(i); });
+  }
+  EXPECT_EQ(sharded, expected);
+
+  std::vector<uint32_t> appended;
+  bits.AppendSetBits(&appended);
+  ASSERT_EQ(appended.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(appended[i], static_cast<uint32_t>(expected[i]));
+  }
+}
+
+TEST(DenseBitsetTest, SetAtomicFromManyThreadsLosesNothing) {
+  constexpr uint64_t kBits = 1 << 14;
+  DenseBitset bits(kBits);
+  ThreadPool pool(4);
+  // Every lane sets an interleaved quarter of the bits; fetch_or on shared
+  // words must lose none of them.
+  pool.ParallelFor(64, [&](uint64_t chunk, uint32_t) {
+    for (uint64_t i = chunk; i < kBits; i += 64) bits.SetAtomic(i);
+  });
+  EXPECT_EQ(bits.CountSet(), kBits);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryChunkExactlyOnce) {
+  for (uint32_t threads : {1u, 2u, 5u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    std::vector<std::atomic<uint32_t>> hits(257);
+    pool.ParallelFor(hits.size(), [&](uint64_t chunk, uint32_t lane) {
+      ASSERT_LT(lane, pool.num_threads());
+      hits[chunk].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1u) << "chunk " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  std::atomic<uint64_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(10, [&](uint64_t chunk, uint32_t) {
+      total.fetch_add(chunk, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 50u * 45u);
+}
+
+TEST(ThreadPoolTest, ZeroChunksIsANoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](uint64_t, uint32_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsClamped) {
+  uint32_t count = ThreadPool::DefaultThreadCount();
+  EXPECT_GE(count, 1u);
+  EXPECT_LE(count, 16u);
 }
 
 }  // namespace

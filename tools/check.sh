@@ -6,13 +6,18 @@
 #      suite, which includes the gdp_lint source linter;
 #   2. ASan+UBSan build (Debug, so GDP_DCHECK and the structural validators
 #      in src/partition/validate.h are live) + full ctest suite, failing on
-#      any sanitizer report (halt_on_error).
+#      any sanitizer report (halt_on_error);
+#   3. TSan build (GDP_SANITIZE=thread) running the engine / frontier /
+#      thread-pool test targets — the parallel GAS engine's data-race gate.
+#      Timing-sensitive claims benches are excluded (TSan's ~10x slowdown
+#      makes their wall-clock thresholds meaningless).
 #
 # Usage: tools/check.sh [--quick]
-#   --quick  plain leg only (the seed tier-1 contract) — no sanitizer leg.
+#   --quick  plain leg only (the seed tier-1 contract) — no sanitizer legs.
 #
-# Build trees: build-check/ (plain) and build-asan/ (sanitized), kept apart
-# from the developer's build/ so the gate never clobbers a working tree.
+# Build trees: build-check/ (plain), build-asan/ and build-tsan/
+# (sanitized), kept apart from the developer's build/ so the gate never
+# clobbers a working tree.
 
 set -euo pipefail
 
@@ -23,8 +28,8 @@ QUICK=0
 [[ "${1:-}" == "--quick" ]] && QUICK=1
 
 run_leg() {
-  local name="$1" dir="$2"
-  shift 2
+  local name="$1" dir="$2" ctest_filter="$3"
+  shift 3
   echo "=== [$name] configure ==="
   cmake -B "$dir" -S "$ROOT" "$@" >"$dir.configure.log" 2>&1 || {
     cat "$dir.configure.log"
@@ -38,7 +43,9 @@ run_leg() {
     return 1
   }
   echo "=== [$name] ctest ==="
-  (cd "$dir" && ctest --output-on-failure -j "$JOBS") || {
+  local filter_args=()
+  [[ -n "$ctest_filter" ]] && filter_args=(-R "$ctest_filter")
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS" "${filter_args[@]}") || {
     echo "check.sh: [$name] tests FAILED" >&2
     return 1
   }
@@ -46,7 +53,7 @@ run_leg() {
 
 # Leg 1: plain build + tests (includes the gdp_lint ctest test). -Werror
 # promotes the [[nodiscard]] Status discards to hard errors.
-run_leg "plain" "$ROOT/build-check" \
+run_leg "plain" "$ROOT/build-check" "" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS=-Werror
 
@@ -60,8 +67,20 @@ fi
 # run on every ingest. halt_on_error turns any report into a test failure.
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
-run_leg "asan+ubsan" "$ROOT/build-asan" \
+run_leg "asan+ubsan" "$ROOT/build-asan" "" \
   -DCMAKE_BUILD_TYPE=Debug \
   "-DGDP_SANITIZE=address;undefined"
 
-echo "check.sh: full gate PASSED (plain + lint + ASan/UBSan ctest)"
+# Leg 3: TSan over the concurrency surface — the parallel GAS engine, its
+# frontier/thread-pool/accumulator utilities, and the sim layer they charge.
+# RelWithDebInfo: TSan+Debug is too slow for the determinism matrix, and the
+# race coverage is identical. The -R filter selects the discovered gtest
+# suites that exercise threads; claims_ benches are timing-based and
+# excluded (none of them match).
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+run_leg "tsan" "$ROOT/build-tsan" \
+  '(EngineDeterminism|EngineCorrectness|EngineAccounting|EngineEdge|ExecutionPlan|KCoreDeterminism|ThreadPool|DenseBitset|PhaseAccumulator|Machine|Cluster|Async)' \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGDP_SANITIZE=thread
+
+echo "check.sh: full gate PASSED (plain + lint + ASan/UBSan + TSan ctest)"
