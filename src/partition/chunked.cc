@@ -20,6 +20,23 @@ ChunkedPartitioner::ChunkedPartitioner(const PartitionContext& context)
   }
 }
 
+void ChunkedPartitioner::PrepareForIngest(uint32_t num_loaders) {
+  Partitioner::PrepareForIngest(num_loaders);
+  while (out_degree_shards_.size() + 1 < num_loaders) {
+    out_degree_shards_.emplace_back(out_degree_.size(), 0);
+  }
+}
+
+void ChunkedPartitioner::EndPass(uint32_t pass) {
+  if (pass != 0) return;
+  for (const std::vector<uint32_t>& shard : out_degree_shards_) {
+    for (size_t v = 0; v < out_degree_.size(); ++v) {
+      out_degree_[v] += shard[v];
+    }
+  }
+  out_degree_shards_.clear();
+}
+
 MachineId ChunkedPartitioner::ChunkOf(graph::VertexId v) const {
   auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), v);
   return static_cast<MachineId>(it - boundaries_.begin());
@@ -51,13 +68,12 @@ void ChunkedPartitioner::BeginPass(uint32_t pass) {
 
 MachineId ChunkedPartitioner::Assign(const graph::Edge& e, uint32_t pass,
                                      uint32_t loader) {
-  (void)loader;
   if (pass == 0) {
-    AddWork(1.2);
-    ++out_degree_[e.src];
+    AddWorkTicks(loader, 24);  // 1.2 units
+    ++DegreeCell(loader, e.src);
     return ChunkOf(e.src);
   }
-  AddWork(0.6);
+  AddWorkTicks(loader, 12);  // 0.6 units
   return ChunkOf(e.src);  // ingest keeps it if unchanged
 }
 

@@ -33,6 +33,12 @@ class ChunkedPartitioner final : public Partitioner {
   void BeginPass(uint32_t pass) override;
   MachineId Assign(const graph::Edge& e, uint32_t pass,
                    uint32_t loader) override;
+  /// Both passes are parallel-safe: pass 0 counts out-degrees into
+  /// per-loader shards (loader 0 writes the merged array directly), pass 1
+  /// only reads the pass-0 boundaries.
+  void PrepareForIngest(uint32_t num_loaders) override;
+  /// Merges the pass-0 degree shards at the pass barrier.
+  void EndPass(uint32_t pass) override;
   uint64_t ApproxStateBytes() const override;
 
   /// Masters follow the chunk of the vertex (all of a vertex's out-edges
@@ -44,9 +50,17 @@ class ChunkedPartitioner final : public Partitioner {
   MachineId ChunkOf(graph::VertexId v) const;
 
  private:
+  /// Pass-0 out-degree counter cell for `loader`: loader 0 increments the
+  /// merged array in place, loaders >= 1 their own shard.
+  uint32_t& DegreeCell(uint32_t loader, graph::VertexId v) {
+    return loader == 0 ? out_degree_[v] : out_degree_shards_[loader - 1][v];
+  }
+
   uint32_t num_partitions_;
   graph::VertexId num_vertices_;
   std::vector<uint32_t> out_degree_;
+  /// Shards for loaders 1..L-1 (pipeline scratch, not modeled state).
+  std::vector<std::vector<uint32_t>> out_degree_shards_;
   /// boundaries_[p] = first vertex id NOT in chunk p (ascending).
   std::vector<graph::VertexId> boundaries_;
 };

@@ -33,8 +33,7 @@ uint64_t GridPartitioner::CellOf(graph::VertexId v) const {
 MachineId GridPartitioner::Assign(const graph::Edge& e, uint32_t pass,
                                   uint32_t loader) {
   (void)pass;
-  (void)loader;
-  AddWork(1.0);
+  AddWorkTicks(loader, kTicksPerWorkUnit);
   uint64_t cell_u = CellOf(e.src);
   uint64_t cell_v = CellOf(e.dst);
   uint64_t r1 = cell_u / side_, c1 = cell_u % side_;
@@ -178,8 +177,7 @@ std::vector<MachineId> PdsPartitioner::ConstraintSet(graph::VertexId v) const {
 MachineId PdsPartitioner::Assign(const graph::Edge& e, uint32_t pass,
                                  uint32_t loader) {
   (void)pass;
-  (void)loader;
-  AddWork(1.5);  // two constraint-set lookups plus a merge
+  AddWorkTicks(loader, 30);  // 1.5 units: two constraint-set lookups + merge
   const std::vector<MachineId>& su =
       constraint_sets_[Mix64(e.src ^ seed_) % num_partitions_];
   const std::vector<MachineId>& sv =

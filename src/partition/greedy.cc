@@ -13,7 +13,8 @@ LoaderState::LoaderState(graph::VertexId num_vertices,
                          bool track_degrees)
     : replicas(num_vertices, num_partitions),
       machine_load(num_partitions, 0),
-      rng(seed) {
+      rng(seed),
+      min_count(num_partitions) {
   if (track_degrees) partial_degree.assign(num_vertices, 0);
 }
 
@@ -42,6 +43,15 @@ GreedyPartitionerBase::GreedyPartitionerBase(const PartitionContext& context,
   }
 }
 
+void GreedyPartitionerBase::PrepareForIngest(uint32_t num_loaders) {
+  Partitioner::PrepareForIngest(num_loaders);
+  while (loaders_.size() < num_loaders) {
+    uint32_t l = static_cast<uint32_t>(loaders_.size());
+    loaders_.emplace_back(num_vertices_, num_partitions_,
+                          util::Mix64(seed_ ^ (l + 1)), track_degrees_);
+  }
+}
+
 uint64_t GreedyPartitionerBase::ApproxStateBytes() const {
   uint64_t total = 0;
   for (const LoaderState& s : loaders_) total += s.ApproxBytes();
@@ -53,36 +63,52 @@ LoaderState& GreedyPartitionerBase::loader_state(uint32_t loader) {
   return loaders_[loader];
 }
 
-void GreedyPartitionerBase::ChargeGreedyWork(LoaderState& state,
-                                             const graph::Edge& e) {
-  uint32_t count_src = state.replicas.Count(e.src);
-  uint32_t count_dst = state.replicas.Count(e.dst);
+void GreedyPartitionerBase::ChargeGreedyWork(uint32_t loader,
+                                             LoaderState& state,
+                                             const graph::Edge& e,
+                                             uint32_t count_src,
+                                             uint32_t count_dst) {
   if (count_src == 0) ++state.touched_vertices;
   if (count_dst == 0 && e.src != e.dst) ++state.touched_vertices;
-  AddWork(2.0 + 1.0 * (count_src + count_dst));
+  // 2 units base + 1 unit per probed replica-set entry.
+  AddWorkTicks(loader, 2 * kTicksPerWorkUnit +
+                           kTicksPerWorkUnit * (count_src + count_dst));
 }
 
 namespace {
 
-/// Least-loaded machine among `candidates`; random tie-break.
-MachineId LeastLoaded(const std::vector<MachineId>& candidates,
-                      const std::vector<uint64_t>& load,
-                      util::SplitMix64& rng) {
+/// Least-loaded machine over the set bits of the `num_words` bitset words
+/// produced by `word_at` (AND/OR of two replica rows, or one row directly);
+/// reservoir-style random tie-break. Bits are visited ascending, so the
+/// comparison and rng-draw sequence is identical to iterating a sorted
+/// machine vector — but with zero allocation. Returns false (rng untouched)
+/// when no bit is set.
+template <typename WordFn>
+bool LeastLoadedOverWords(uint32_t num_words, WordFn&& word_at,
+                          const std::vector<uint64_t>& load,
+                          util::SplitMix64& rng, MachineId* out) {
   uint64_t best = std::numeric_limits<uint64_t>::max();
   uint32_t ties = 0;
   MachineId chosen = 0;
-  for (MachineId m : candidates) {
-    if (load[m] < best) {
-      best = load[m];
-      chosen = m;
-      ties = 1;
-    } else if (load[m] == best) {
-      // Reservoir-style random tie break.
-      ++ties;
-      if (rng.NextBounded(ties) == 0) chosen = m;
+  bool any = false;
+  for (uint32_t w = 0; w < num_words; ++w) {
+    uint64_t word = word_at(w);
+    while (word != 0) {
+      MachineId m = w * 64 + static_cast<uint32_t>(std::countr_zero(word));
+      word &= word - 1;
+      any = true;
+      if (load[m] < best) {
+        best = load[m];
+        chosen = m;
+        ties = 1;
+      } else if (load[m] == best) {
+        ++ties;
+        if (rng.NextBounded(ties) == 0) chosen = m;
+      }
     }
   }
-  return chosen;
+  *out = chosen;
+  return any;
 }
 
 MachineId LeastLoadedAll(uint32_t num_partitions,
@@ -110,38 +136,48 @@ MachineId ObliviousPartitioner::Assign(const graph::Edge& e, uint32_t pass,
                                        uint32_t loader) {
   GDP_CHECK_EQ(pass, 0u);
   LoaderState& state = loader_state(loader);
-  ChargeGreedyWork(state, e);
+  const uint32_t count_src = state.replicas.Count(e.src);
+  const uint32_t count_dst = state.replicas.Count(e.dst);
+  ChargeGreedyWork(loader, state, e, count_src, count_dst);
 
-  std::vector<MachineId> a_u = state.replicas.Machines(e.src);
-  std::vector<MachineId> a_v = state.replicas.Machines(e.dst);
-  std::vector<MachineId> intersection;
-  std::set_intersection(a_u.begin(), a_u.end(), a_v.begin(), a_v.end(),
-                        std::back_inserter(intersection));
+  const uint64_t* a_u = state.replicas.WordsOf(e.src);
+  const uint64_t* a_v = state.replicas.WordsOf(e.dst);
+  const uint32_t words = state.replicas.words_per_vertex();
 
-  MachineId target;
-  if (!intersection.empty()) {
-    // Case 1: some machine already hosts both endpoints.
-    target = LeastLoaded(intersection, state.machine_load, state.rng);
-  } else if (a_u.empty() && a_v.empty()) {
-    // Case 3: neither endpoint placed yet — least loaded overall.
-    target = LeastLoadedAll(num_partitions(), state.machine_load, state.rng);
-  } else if (a_v.empty()) {
-    // Case 2: only u placed.
-    target = LeastLoaded(a_u, state.machine_load, state.rng);
-  } else if (a_u.empty()) {
-    // Case 2 (symmetric): only v placed.
-    target = LeastLoaded(a_v, state.machine_load, state.rng);
-  } else {
-    // Case 4: both placed, on disjoint machines — least loaded in the union.
-    std::vector<MachineId> machine_union;
-    std::set_union(a_u.begin(), a_u.end(), a_v.begin(), a_v.end(),
-                   std::back_inserter(machine_union));
-    target = LeastLoaded(machine_union, state.machine_load, state.rng);
+  MachineId target = 0;
+  // Case 1: some machine already hosts both endpoints (A(u) ∩ A(v)).
+  bool placed =
+      count_src != 0 && count_dst != 0 &&
+      LeastLoadedOverWords(
+          words, [&](uint32_t w) { return a_u[w] & a_v[w]; },
+          state.machine_load, state.rng, &target);
+  if (!placed) {
+    if (count_src == 0 && count_dst == 0) {
+      // Case 3: neither endpoint placed yet — least loaded overall.
+      target = LeastLoadedAll(num_partitions(), state.machine_load,
+                              state.rng);
+    } else if (count_dst == 0) {
+      // Case 2: only u placed.
+      LeastLoadedOverWords(
+          words, [&](uint32_t w) { return a_u[w]; }, state.machine_load,
+          state.rng, &target);
+    } else if (count_src == 0) {
+      // Case 2 (symmetric): only v placed.
+      LeastLoadedOverWords(
+          words, [&](uint32_t w) { return a_v[w]; }, state.machine_load,
+          state.rng, &target);
+    } else {
+      // Case 4: both placed, on disjoint machines — least loaded in the
+      // union A(u) ∪ A(v).
+      LeastLoadedOverWords(
+          words, [&](uint32_t w) { return a_u[w] | a_v[w]; },
+          state.machine_load, state.rng, &target);
+    }
   }
 
   state.replicas.Add(e.src, target);
   state.replicas.Add(e.dst, target);
-  ++state.machine_load[target];
+  state.AddEdgeTo(target);
   return target;
 }
 
@@ -149,10 +185,13 @@ MachineId HdrfPartitioner::Assign(const graph::Edge& e, uint32_t pass,
                                   uint32_t loader) {
   GDP_CHECK_EQ(pass, 0u);
   LoaderState& state = loader_state(loader);
-  ChargeGreedyWork(state, e);
+  const uint32_t count_src = state.replicas.Count(e.src);
+  const uint32_t count_dst = state.replicas.Count(e.dst);
+  ChargeGreedyWork(loader, state, e, count_src, count_dst);
   // HDRF scores every machine per edge (Appendix B), unlike Oblivious
-  // whose candidate set is usually just the endpoint replica sets.
-  AddWork(0.05 * num_partitions());
+  // whose candidate set is usually just the endpoint replica sets:
+  // 0.05 units per machine scored.
+  AddWorkTicks(loader, num_partitions());
 
   double deg_u, deg_v;
   if (use_partial_degrees_ || exact_degrees_.empty()) {
@@ -165,12 +204,10 @@ MachineId HdrfPartitioner::Assign(const graph::Edge& e, uint32_t pass,
   double theta_u = deg_u / (deg_u + deg_v);
   double theta_v = 1.0 - theta_u;
 
-  uint64_t max_load = 0;
-  uint64_t min_load = std::numeric_limits<uint64_t>::max();
-  for (MachineId m = 0; m < num_partitions(); ++m) {
-    max_load = std::max(max_load, state.machine_load[m]);
-    min_load = std::min(min_load, state.machine_load[m]);
-  }
+  // Incrementally maintained by LoaderState::AddEdgeTo — the seed scanned
+  // all P loads here on every edge.
+  const uint64_t max_load = state.max_load;
+  const uint64_t min_load = state.min_load;
   constexpr double kEpsilon = 1.0;
 
   double best_score = -std::numeric_limits<double>::infinity();
@@ -199,7 +236,7 @@ MachineId HdrfPartitioner::Assign(const graph::Edge& e, uint32_t pass,
 
   state.replicas.Add(e.src, chosen);
   state.replicas.Add(e.dst, chosen);
-  ++state.machine_load[chosen];
+  state.AddEdgeTo(chosen);
   return chosen;
 }
 

@@ -27,6 +27,25 @@ struct LoaderState {
   /// memory scales with touched vertices, not with |V|.
   uint64_t touched_vertices = 0;
 
+  /// Incrementally maintained min/max of machine_load, so HDRF's balance
+  /// term needs no per-edge O(P) scan. min_count tracks how many machines
+  /// sit at min_load; when the last one is incremented the minimum bumps by
+  /// exactly one (loads grow by single edges) and only then is an O(P)
+  /// recount paid — amortized O(1) per edge.
+  uint64_t min_load = 0;
+  uint64_t max_load = 0;
+  uint32_t min_count = 0;
+
+  /// Records one edge placed on `m`, keeping min/max in sync.
+  void AddEdgeTo(sim::MachineId m) {
+    uint64_t now = ++machine_load[m];
+    if (now > max_load) max_load = now;
+    if (now - 1 == min_load && --min_count == 0) {
+      ++min_load;  // every machine is >= old min + 1, and m sits exactly there
+      for (uint64_t load : machine_load) min_count += load == min_load;
+    }
+  }
+
   uint64_t ApproxBytes() const;
 };
 
@@ -38,15 +57,23 @@ class GreedyPartitionerBase : public Partitioner {
 
   uint64_t ApproxStateBytes() const override;
 
+  /// Grows the per-loader state array when the ingestor drives more loaders
+  /// than the context anticipated (deterministic: loader l is always seeded
+  /// from Mix64(seed ^ (l + 1)) regardless of when it is created).
+  void PrepareForIngest(uint32_t num_loaders) override;
+
  protected:
   uint32_t num_partitions() const { return num_partitions_; }
   LoaderState& loader_state(uint32_t loader);
 
   /// Charges the modelled greedy cost for one edge: a constant scoring term
   /// plus a term proportional to the endpoint replica-set sizes (probing
-  /// A(u) and A(v)). On skewed graphs replica sets are large, which slows
-  /// greedy ingress relative to hashing — the Fig 5.7 effect.
-  void ChargeGreedyWork(LoaderState& state, const graph::Edge& e);
+  /// A(u) and A(v)), which the caller has already counted. On skewed graphs
+  /// replica sets are large, which slows greedy ingress relative to hashing
+  /// — the Fig 5.7 effect.
+  void ChargeGreedyWork(uint32_t loader, LoaderState& state,
+                        const graph::Edge& e, uint32_t count_src,
+                        uint32_t count_dst);
 
  private:
   uint32_t num_partitions_;

@@ -13,8 +13,7 @@ using util::Mix64;
 MachineId RandomPartitioner::Assign(const graph::Edge& e, uint32_t pass,
                                     uint32_t loader) {
   (void)pass;
-  (void)loader;
-  AddWork(1.0);
+  AddWorkTicks(loader, kTicksPerWorkUnit);
   return static_cast<MachineId>(
       (HashCanonicalEdge(e.src, e.dst) ^ Mix64(seed_)) % num_partitions_);
 }
@@ -23,8 +22,7 @@ MachineId AsymmetricRandomPartitioner::Assign(const graph::Edge& e,
                                               uint32_t pass,
                                               uint32_t loader) {
   (void)pass;
-  (void)loader;
-  AddWork(1.0);
+  AddWorkTicks(loader, kTicksPerWorkUnit);
   return static_cast<MachineId>(
       (HashDirectedEdge(e.src, e.dst) ^ Mix64(seed_)) % num_partitions_);
 }
@@ -32,8 +30,7 @@ MachineId AsymmetricRandomPartitioner::Assign(const graph::Edge& e,
 MachineId OneDPartitioner::Assign(const graph::Edge& e, uint32_t pass,
                                   uint32_t loader) {
   (void)pass;
-  (void)loader;
-  AddWork(1.0);
+  AddWorkTicks(loader, kTicksPerWorkUnit);
   graph::VertexId key = by_target_ ? e.dst : e.src;
   return static_cast<MachineId>((Mix64(key ^ seed_)) % num_partitions_);
 }
@@ -56,8 +53,7 @@ TwoDPartitioner::TwoDPartitioner(const PartitionContext& context)
 MachineId TwoDPartitioner::Assign(const graph::Edge& e, uint32_t pass,
                                   uint32_t loader) {
   (void)pass;
-  (void)loader;
-  AddWork(1.0);
+  AddWorkTicks(loader, kTicksPerWorkUnit);
   uint64_t col = Mix64(e.src ^ seed_) % side_;
   uint64_t row = Mix64(e.dst ^ seed_) % side_;
   return static_cast<MachineId>((col * side_ + row) % num_partitions_);
@@ -66,8 +62,7 @@ MachineId TwoDPartitioner::Assign(const graph::Edge& e, uint32_t pass,
 MachineId DbhPartitioner::Assign(const graph::Edge& e, uint32_t pass,
                                  uint32_t loader) {
   (void)pass;
-  (void)loader;
-  AddWork(1.5);  // hash plus two degree-counter updates
+  AddWorkTicks(loader, 30);  // 1.5 units: hash plus two degree-counter updates
   uint32_t deg_src = ++partial_degree_[e.src];
   uint32_t deg_dst = ++partial_degree_[e.dst];
   // Hash by the lower-degree endpoint (ties by id for determinism).

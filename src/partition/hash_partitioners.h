@@ -111,6 +111,13 @@ class DbhPartitioner final : public Partitioner {
   StrategyKind kind() const override { return StrategyKind::kDbh; }
   MachineId Assign(const graph::Edge& e, uint32_t pass,
                    uint32_t loader) override;
+  /// DBH's degree counters are a single stream-order view shared by every
+  /// loader (that is the published algorithm), so its one pass runs
+  /// serially.
+  bool PassIsParallelSafe(uint32_t pass) const override {
+    (void)pass;
+    return false;
+  }
   uint64_t ApproxStateBytes() const override {
     return partial_degree_.size() * sizeof(uint32_t);
   }

@@ -22,19 +22,37 @@ MachineId HybridPartitioner::HashVertex(graph::VertexId v) const {
   return static_cast<MachineId>(Mix64(v ^ seed_) % num_partitions_);
 }
 
+void HybridPartitioner::PrepareForIngest(uint32_t num_loaders) {
+  Partitioner::PrepareForIngest(num_loaders);
+  while (in_degree_shards_.size() + 1 < num_loaders) {
+    in_degree_shards_.emplace_back(in_degree_.size(), 0);
+  }
+}
+
+void HybridPartitioner::EndPass(uint32_t pass) {
+  if (pass != 0) return;
+  // Integer addition commutes, so the merged degrees are independent of the
+  // shard order (and of how edges were split across loaders).
+  for (const std::vector<uint32_t>& shard : in_degree_shards_) {
+    for (size_t v = 0; v < in_degree_.size(); ++v) {
+      in_degree_[v] += shard[v];
+    }
+  }
+  in_degree_shards_.clear();
+}
+
 MachineId HybridPartitioner::Assign(const graph::Edge& e, uint32_t pass,
                                     uint32_t loader) {
-  (void)loader;
   if (pass == 0) {
     // Counting + provisional low-degree placement: every edge goes with its
     // destination, and we learn exact in-degrees along the way.
-    AddWork(1.2);
-    ++in_degree_[e.dst];
+    AddWorkTicks(loader, 24);  // 1.2 units
+    ++DegreeCell(loader, e.dst);
     return HashVertex(e.dst);
   }
   // Reassignment pass: edges whose destination turned out to be high-degree
   // move to the source hash (vertex-cut for the heavy vertices).
-  AddWork(0.6);
+  AddWorkTicks(loader, 12);  // 0.6 units
   if (IsHighDegree(e.dst)) return HashVertex(e.src);
   return kKeepPlacement;
 }
@@ -66,6 +84,27 @@ HybridGingerPartitioner::HybridGingerPartitioner(
   }
 }
 
+void HybridGingerPartitioner::PrepareForIngest(uint32_t num_loaders) {
+  HybridPartitioner::PrepareForIngest(num_loaders);
+  while (edge_shards_.size() + 1 < num_loaders) {
+    edge_shards_.emplace_back();
+    edge_shards_.back().partition_edges.assign(num_partitions_, 0);
+  }
+}
+
+void HybridGingerPartitioner::EndPass(uint32_t pass) {
+  if (pass == 0) {
+    for (const EdgeCountShard& shard : edge_shards_) {
+      total_edges_ += shard.total_edges;
+      for (MachineId p = 0; p < num_partitions_; ++p) {
+        partition_edges_[p] += shard.partition_edges[p];
+      }
+    }
+    edge_shards_.clear();
+  }
+  HybridPartitioner::EndPass(pass);
+}
+
 void HybridGingerPartitioner::BeginPass(uint32_t pass) {
   if (pass == 2) {
     // Initialize balance state from the post-Hybrid placement: vertices are
@@ -80,9 +119,9 @@ void HybridGingerPartitioner::BeginPass(uint32_t pass) {
 MachineId HybridGingerPartitioner::Assign(const graph::Edge& e, uint32_t pass,
                                           uint32_t loader) {
   if (pass == 0) {
-    ++total_edges_;
+    ++TotalEdgesCell(loader);
     MachineId m = HybridPartitioner::Assign(e, 0, loader);
-    partition_edges_[m] += 1;
+    ++PartitionEdgesCell(loader, m);
     return m;
   }
   if (pass == 1) {
@@ -103,13 +142,13 @@ MachineId HybridGingerPartitioner::Assign(const graph::Edge& e, uint32_t pass,
       --partition_edges_[old_m];
       ++partition_edges_[moved];
     }
-    AddWork(0.4);
+    AddWorkTicks(loader, 8);  // 0.4 units
     return moved;
   }
   GDP_CHECK_EQ(pass, 2u);
-  AddWork(1.0);
+  AddWorkTicks(loader, 20);  // 1.0 units
   if (IsHighDegree(e.dst)) return kKeepPlacement;
-  MachineId target = GingerTarget(e.dst);
+  MachineId target = GingerTarget(e.dst, loader);
   MachineId old_m = HashVertex(e.dst);
   if (target == old_m) return kKeepPlacement;
   --partition_edges_[old_m];
@@ -117,9 +156,10 @@ MachineId HybridGingerPartitioner::Assign(const graph::Edge& e, uint32_t pass,
   return target;
 }
 
-MachineId HybridGingerPartitioner::GingerTarget(graph::VertexId v) {
+MachineId HybridGingerPartitioner::GingerTarget(graph::VertexId v,
+                                                uint32_t loader) {
   if (ginger_target_[v] != kKeepPlacement) return ginger_target_[v];
-  AddWork(static_cast<double>(num_partitions_));
+  AddWorkTicks(loader, kTicksPerWorkUnit * num_partitions_);
 
   // Remove v from its current partition while scoring (it is being moved).
   MachineId current = vertex_partition_[v];

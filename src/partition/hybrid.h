@@ -22,6 +22,15 @@ class HybridPartitioner : public Partitioner {
   uint32_t num_passes() const override { return 2; }
   MachineId Assign(const graph::Edge& e, uint32_t pass,
                    uint32_t loader) override;
+  /// Both passes are parallel-safe: pass 0 counts in-degrees into
+  /// per-loader shards (loader 0 writes the merged array directly, so
+  /// single-loader use needs no merge), pass 1 only reads the merged
+  /// degrees.
+  void PrepareForIngest(uint32_t num_loaders) override;
+  /// Merges the pass-0 degree shards (single-threaded, at the pass
+  /// barrier). The real system's loaders all-reduce their block-local
+  /// counts the same way.
+  void EndPass(uint32_t pass) override;
   uint64_t ApproxStateBytes() const override;
 
   /// Masters live at the vertex hash location — for a low-degree vertex
@@ -37,10 +46,21 @@ class HybridPartitioner : public Partitioner {
  protected:
   MachineId HashVertex(graph::VertexId v) const;
 
+  /// Pass-0 in-degree counter cell for `loader`: loader 0 increments the
+  /// merged array in place, loaders >= 1 their own shard (merged by
+  /// EndPass(0)).
+  uint32_t& DegreeCell(uint32_t loader, graph::VertexId v) {
+    return loader == 0 ? in_degree_[v] : in_degree_shards_[loader - 1][v];
+  }
+
   uint32_t num_partitions_;
   uint64_t seed_;
   uint64_t threshold_;
   std::vector<uint32_t> in_degree_;
+  /// Shards for loaders 1..L-1 (implementation scratch of the parallel
+  /// pipeline — not modeled state; ApproxStateBytes charges the merged
+  /// array only, like the seed).
+  std::vector<std::vector<uint32_t>> in_degree_shards_;
 };
 
 /// PowerLyra Hybrid-Ginger (§6.2.2): Hybrid plus a third, Fennel-inspired
@@ -59,14 +79,36 @@ class HybridGingerPartitioner final : public HybridPartitioner {
   void BeginPass(uint32_t pass) override;
   MachineId Assign(const graph::Edge& e, uint32_t pass,
                    uint32_t loader) override;
+  /// Pass 0 is parallel-safe (degree + |E_p| counters are loader-sharded);
+  /// pass 1 mutates the shared neighbour-count matrix and pass 2's Fennel
+  /// moves depend on the evolving balance state in stream order, so both
+  /// run serially.
+  bool PassIsParallelSafe(uint32_t pass) const override { return pass == 0; }
+  void PrepareForIngest(uint32_t num_loaders) override;
+  void EndPass(uint32_t pass) override;
   uint64_t ApproxStateBytes() const override;
   MachineId PreferredMaster(graph::VertexId v) const override;
 
  private:
-  MachineId GingerTarget(graph::VertexId v);
+  MachineId GingerTarget(graph::VertexId v, uint32_t loader);
+
+  /// Pass-0 edge-count cells for `loader` (loader 0 = the merged arrays).
+  uint64_t& TotalEdgesCell(uint32_t loader) {
+    return loader == 0 ? total_edges_ : edge_shards_[loader - 1].total_edges;
+  }
+  uint64_t& PartitionEdgesCell(uint32_t loader, MachineId p) {
+    return loader == 0 ? partition_edges_[p]
+                       : edge_shards_[loader - 1].partition_edges[p];
+  }
+
+  struct EdgeCountShard {
+    uint64_t total_edges = 0;
+    std::vector<uint64_t> partition_edges;
+  };
 
   graph::VertexId num_vertices_;
   uint64_t total_edges_ = 0;
+  std::vector<EdgeCountShard> edge_shards_;  ///< loaders 1..L-1, pass 0
   /// nbr_partition_count_[v * P + p]: v's in-neighbours homed at p
   /// (saturating 16-bit counters; low-degree vertices have <= threshold
   /// in-neighbours so saturation is unreachable for the vertices that use

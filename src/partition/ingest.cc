@@ -1,22 +1,50 @@
 #include "partition/ingest.h"
 
 #include <algorithm>
+#include <vector>
 
+#include "sim/phase_accumulator.h"
 #include "util/hash.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace gdp::partition {
 
 namespace {
 
-/// Per-pass ingress CPU cost of reading/deserializing one edge from the
-/// input block, independent of strategy. Text edge lists cost tens of
-/// simple operations per edge to scan and parse — far more than one hash —
-/// which is why hash and greedy strategies have comparable ingress on
-/// low-degree graphs (Fig 5.7): parsing dominates until replica sets get
-/// large, and why ingress rivals or exceeds compute for short jobs
-/// (Table 5.1, and the LFGraph observation cited in Chapter 1).
-constexpr double kParseWorkPerEdge = 50.0;
+/// Accounting scratch one loader fills during one pass. Indexed by loader
+/// (not by pool lane): which lane runs a loader is scheduling-dependent,
+/// the loader index is not. All counters are integers, so the pass-barrier
+/// merge (in loader order) is independent of execution interleaving —
+/// the basis of the bit-identical-at-any-thread-count contract.
+struct LoaderScratch {
+  sim::PhaseAccumulator acc;                 ///< work ticks + send/recv bytes
+  std::vector<uint64_t> alloc_bytes;         ///< edge-record allocations
+  std::vector<uint64_t> deferred_free_bytes; ///< moved edges' old copies
+  uint64_t edges_moved = 0;
+
+  void Reset(uint32_t num_machines) {
+    acc.Reset(num_machines);
+    alloc_bytes.assign(num_machines, 0);
+    deferred_free_bytes.assign(num_machines, 0);
+    edges_moved = 0;
+  }
+};
+
+/// Finalize scratch for one contiguous edge-range shard. Bitset OR and
+/// integer addition commute, so the merged tables/counters are independent
+/// of the shard count and merge order.
+struct TableShard {
+  ReplicaTable replicas;
+  ReplicaTable in_parts;
+  ReplicaTable out_parts;
+  std::vector<uint64_t> edge_count;
+};
+
+/// Vertices per master-selection stripe. Stripes write disjoint vertex
+/// ranges (dg.master entries and ReplicaTable words are per-vertex), so
+/// they run concurrently without synchronization.
+constexpr uint64_t kMasterStripe = 4096;
 
 }  // namespace
 
@@ -32,72 +60,87 @@ IngestResult Ingest(const graph::EdgeList& edges, Partitioner& partitioner,
   if (num_loaders == 0) num_loaders = partitioner.context().num_loaders;
   if (num_loaders == 0) num_loaders = num_machines;
 
+  uint32_t num_threads = options.num_threads;
+  if (num_threads == 0) num_threads = util::ThreadPool::DefaultThreadCount();
+  num_threads = std::min(num_threads, num_loaders);
+  util::ThreadPool pool(num_threads);
+
   IngestResult result;
   DistributedGraph& dg = result.graph;
-  // The partitioner was built from a PartitionContext whose num_partitions
-  // we cannot see here; recover it lazily from assignments. To keep the
-  // structure simple we require callers to use IngestWithStrategy or pass a
-  // cluster whose machine count equals the partition count; the partition
-  // count is discovered below as max assigned + 1 is fragile, so we instead
-  // thread it through the replica tables sized at finalize time.
   dg.num_machines = num_machines;
   dg.num_vertices = edges.num_vertices();
   dg.edges = edges.edges();
   dg.edge_partition.assign(num_edges, 0);
+  // The partition count is authoritative from the partitioner's context —
+  // not rediscovered from assignments, which under-counts whenever a hash
+  // strategy never emits the last partition id on a tiny input.
+  const uint32_t num_partitions = partitioner.num_partitions();
+  GDP_CHECK_GE(num_partitions, 1u);
+  dg.num_partitions = num_partitions;
 
   const sim::ObjectSizes sizes;
   IngressReport& report = result.report;
   const double start_time = cluster.now_seconds();
+
+  partitioner.PrepareForIngest(num_loaders);
 
   // Loader l handles the contiguous block [block_start(l), block_start(l+1)).
   auto block_start = [&](uint32_t l) -> uint64_t {
     return num_edges * l / num_loaders;
   };
 
-  uint64_t prev_state_bytes = 0;
+  // Partitioner bookkeeping bytes currently charged to each machine. The
+  // state is spread across loader machines (that is where degree counters
+  // and replica views physically live during ingress) with the remainder
+  // going to the lowest-indexed machines, so the charges conserve the total
+  // exactly — num_machines need not divide the state size.
+  std::vector<uint64_t> state_held(num_machines, 0);
   auto charge_state_delta = [&]() {
-    uint64_t state = partitioner.ApproxStateBytes();
+    const uint64_t state = partitioner.ApproxStateBytes();
     report.peak_state_bytes = std::max(report.peak_state_bytes, state);
-    // Spread bookkeeping across loader machines (that is where degree
-    // counters and replica views physically live during ingress).
-    if (state > prev_state_bytes) {
-      uint64_t delta = (state - prev_state_bytes) / num_machines;
-      for (uint32_t m = 0; m < num_machines; ++m) {
-        cluster.machine(m).Allocate(delta);
+    const uint64_t base = state / num_machines;
+    const uint64_t remainder = state % num_machines;
+    uint64_t distributed = 0;
+    for (uint32_t m = 0; m < num_machines; ++m) {
+      const uint64_t target = base + (m < remainder ? 1 : 0);
+      if (target > state_held[m]) {
+        cluster.machine(m).Allocate(target - state_held[m]);
+      } else if (target < state_held[m]) {
+        cluster.machine(m).Free(state_held[m] - target);
       }
-    } else if (state < prev_state_bytes) {
-      uint64_t delta = (prev_state_bytes - state) / num_machines;
-      for (uint32_t m = 0; m < num_machines; ++m) {
-        cluster.machine(m).Free(delta);
-      }
+      state_held[m] = target;
+      distributed += target;
     }
-    prev_state_bytes = state;
+    GDP_DCHECK_EQ(distributed, state);
   };
 
+  std::vector<LoaderScratch> scratch(num_loaders);
+
   const uint32_t passes = partitioner.num_passes();
-  uint32_t max_partition_seen = 0;
-  std::vector<uint64_t> deferred_frees(num_machines, 0);
   for (uint32_t pass = 0; pass < passes; ++pass) {
     partitioner.BeginPass(pass);
-    std::fill(deferred_frees.begin(), deferred_frees.end(), 0);
-    for (uint32_t l = 0; l < num_loaders; ++l) {
-      sim::Machine& loader_machine = cluster.machine(l % num_machines);
+    for (LoaderScratch& s : scratch) s.Reset(num_machines);
+
+    auto run_loader = [&](uint32_t l) {
+      LoaderScratch& s = scratch[l];
+      const sim::MachineId loader_machine = l % num_machines;
       const uint64_t begin = block_start(l);
       const uint64_t end = block_start(l + 1);
       for (uint64_t i = begin; i < end; ++i) {
         const graph::Edge& e = dg.edges[i];
         MachineId assigned = partitioner.Assign(e, pass, l);
-        loader_machine.AddWork(kParseWorkPerEdge +
-                               partitioner.TakeAssignWork());
+        s.acc.AddWorkUnits(
+            loader_machine,
+            kParseTicksPerEdge + partitioner.TakeAssignWorkTicks(l));
         if (pass == 0) {
           GDP_CHECK_NE(assigned, kKeepPlacement);
-          max_partition_seen = std::max(max_partition_seen, assigned);
+          GDP_DCHECK_LT(assigned, num_partitions);
           dg.edge_partition[i] = assigned;
-          sim::MachineId target = assigned % num_machines;
-          cluster.machine(target).Allocate(sizes.edge_record);
-          if (target != l % num_machines) {
-            loader_machine.ChargePhaseBytes(sizes.edge_record);
-            cluster.machine(target).ReceiveBytes(sizes.edge_record);
+          const sim::MachineId target = assigned % num_machines;
+          s.alloc_bytes[target] += sizes.edge_record;
+          if (target != loader_machine) {
+            s.acc.ChargeSendBytes(loader_machine, sizes.edge_record);
+            s.acc.ChargeReceiveBytes(target, sizes.edge_record);
           }
         } else if (assigned != kKeepPlacement &&
                    assigned != dg.edge_partition[i]) {
@@ -106,77 +149,194 @@ IngestResult Ingest(const graph::EdgeList& edges, Partitioner& partitioner,
           // released when the pass completes, so multi-pass strategies pay
           // a transient memory overhead proportional to the edges they
           // move — the §6.4.2 effect.
-          max_partition_seen = std::max(max_partition_seen, assigned);
-          sim::MachineId old_machine =
+          GDP_DCHECK_LT(assigned, num_partitions);
+          const sim::MachineId old_machine =
               dg.edge_partition[i] % num_machines;
-          sim::MachineId new_machine = assigned % num_machines;
+          const sim::MachineId new_machine = assigned % num_machines;
           dg.edge_partition[i] = assigned;
-          ++report.edges_moved;
+          ++s.edges_moved;
           if (old_machine != new_machine) {
-            cluster.machine(old_machine).ChargePhaseBytes(sizes.edge_record);
-            cluster.machine(new_machine).ReceiveBytes(sizes.edge_record);
-            cluster.machine(new_machine).Allocate(sizes.edge_record);
-            deferred_frees[old_machine] += sizes.edge_record;
+            s.acc.ChargeSendBytes(old_machine, sizes.edge_record);
+            s.acc.ChargeReceiveBytes(new_machine, sizes.edge_record);
+            s.alloc_bytes[new_machine] += sizes.edge_record;
+            s.deferred_free_bytes[old_machine] += sizes.edge_record;
           }
         }
       }
+    };
+
+    if (num_threads > 1 && partitioner.PassIsParallelSafe(pass)) {
+      pool.ParallelFor(num_loaders, [&](uint64_t chunk, uint32_t lane) {
+        (void)lane;
+        run_loader(static_cast<uint32_t>(chunk));
+      });
+    } else {
+      for (uint32_t l = 0; l < num_loaders; ++l) run_loader(l);
     }
+    partitioner.EndPass(pass);
+
+    // Pass barrier: merge the loader scratches (loader order — integer
+    // counters, so any order gives the same totals) and apply them in the
+    // canonical order: allocations, then bytes + one closed-form work
+    // charge per machine, then partitioner-state deltas, then the phase
+    // barrier, then the deferred frees. Memory only grows within a pass
+    // (frees are deferred), so the bulk allocations reproduce the same
+    // per-machine peaks as per-edge allocation would.
+    sim::PhaseAccumulator merged;
+    merged.Reset(num_machines);
+    std::vector<uint64_t> alloc(num_machines, 0);
+    std::vector<uint64_t> frees(num_machines, 0);
+    for (const LoaderScratch& s : scratch) {
+      merged.Merge(s.acc);
+      for (uint32_t m = 0; m < num_machines; ++m) {
+        alloc[m] += s.alloc_bytes[m];
+        frees[m] += s.deferred_free_bytes[m];
+      }
+      report.edges_moved += s.edges_moved;
+    }
+    for (uint32_t m = 0; m < num_machines; ++m) {
+      if (alloc[m] != 0) cluster.machine(m).Allocate(alloc[m]);
+    }
+    merged.FlushTo(cluster, Partitioner::kWorkPerTick);
     charge_state_delta();
     report.pass_seconds.push_back(cluster.EndPhase());
     if (options.timeline != nullptr) options.timeline->Sample(cluster);
     // Pass complete: release the moved edges' old copies.
     for (uint32_t m = 0; m < num_machines; ++m) {
-      cluster.machine(m).Free(deferred_frees[m]);
+      if (frees[m] != 0) cluster.machine(m).Free(frees[m]);
     }
   }
-
-  dg.num_partitions = max_partition_seen + 1;
-  // Hash strategies may never emit the last partition id on tiny inputs;
-  // prefer the loader hint: partitions >= machines always.
-  dg.num_partitions = std::max(dg.num_partitions, num_machines);
 
   // ---- Finalize: replica tables, masters, per-partition counts. ----------
-  dg.replicas = ReplicaTable(dg.num_vertices, dg.num_partitions);
-  dg.in_edge_partitions = ReplicaTable(dg.num_vertices, dg.num_partitions);
-  dg.out_edge_partitions = ReplicaTable(dg.num_vertices, dg.num_partitions);
+  dg.replicas = ReplicaTable(dg.num_vertices, num_partitions);
+  dg.in_edge_partitions = ReplicaTable(dg.num_vertices, num_partitions);
+  dg.out_edge_partitions = ReplicaTable(dg.num_vertices, num_partitions);
   dg.present.assign(dg.num_vertices, false);
-  dg.partition_edge_count.assign(dg.num_partitions, 0);
-  for (uint64_t i = 0; i < num_edges; ++i) {
-    const graph::Edge& e = dg.edges[i];
-    MachineId p = dg.edge_partition[i];
-    dg.replicas.Add(e.src, p);
-    dg.replicas.Add(e.dst, p);
-    dg.out_edge_partitions.Add(e.src, p);
-    dg.in_edge_partitions.Add(e.dst, p);
-    dg.present[e.src] = true;
-    dg.present[e.dst] = true;
-    ++dg.partition_edge_count[p];
-  }
+  dg.partition_edge_count.assign(num_partitions, 0);
 
-  dg.master.assign(dg.num_vertices, ReplicaTable::kInvalid);
-  uint64_t replica_total = 0;
-  uint64_t present_count = 0;
-  for (graph::VertexId v = 0; v < dg.num_vertices; ++v) {
-    if (!dg.present[v]) continue;
-    ++present_count;
-    MachineId m = ReplicaTable::kInvalid;
-    if (options.use_partitioner_master_preference) {
-      MachineId pref = partitioner.PreferredMaster(v);
-      if (pref != kKeepPlacement) m = pref % dg.num_partitions;
+  if (num_threads > 1 && num_edges > 0) {
+    // Edge-range shards build private tables, OR-merged word-wise.
+    const uint32_t num_shards = num_threads;
+    std::vector<TableShard> shards(num_shards);
+    for (TableShard& s : shards) {
+      s.replicas = ReplicaTable(dg.num_vertices, num_partitions);
+      s.in_parts = ReplicaTable(dg.num_vertices, num_partitions);
+      s.out_parts = ReplicaTable(dg.num_vertices, num_partitions);
+      s.edge_count.assign(num_partitions, 0);
     }
-    if (m == ReplicaTable::kInvalid) {
-      if (options.master_policy == MasterPolicy::kVertexHash) {
-        m = static_cast<MachineId>(util::Mix64(v ^ options.seed) %
-                                   dg.num_partitions);
-      } else {
-        uint32_t count = dg.replicas.Count(v);
-        m = dg.replicas.Select(
-            v, static_cast<uint32_t>(util::Mix64(v ^ options.seed) % count));
+    pool.ParallelFor(num_shards, [&](uint64_t shard, uint32_t lane) {
+      (void)lane;
+      TableShard& s = shards[shard];
+      const uint64_t begin = num_edges * shard / num_shards;
+      const uint64_t end = num_edges * (shard + 1) / num_shards;
+      for (uint64_t i = begin; i < end; ++i) {
+        const graph::Edge& e = dg.edges[i];
+        const MachineId p = dg.edge_partition[i];
+        s.replicas.Add(e.src, p);
+        s.replicas.Add(e.dst, p);
+        s.out_parts.Add(e.src, p);
+        s.in_parts.Add(e.dst, p);
+        ++s.edge_count[p];
+      }
+    });
+    for (const TableShard& s : shards) {
+      dg.replicas.MergeFrom(s.replicas);
+      dg.in_edge_partitions.MergeFrom(s.in_parts);
+      dg.out_edge_partitions.MergeFrom(s.out_parts);
+      for (uint32_t p = 0; p < num_partitions; ++p) {
+        dg.partition_edge_count[p] += s.edge_count[p];
       }
     }
-    dg.master[v] = m;
-    dg.replicas.Add(v, m);  // ensure the master location holds a replica
-    replica_total += dg.replicas.Count(v);
+  } else {
+    for (uint64_t i = 0; i < num_edges; ++i) {
+      const graph::Edge& e = dg.edges[i];
+      const MachineId p = dg.edge_partition[i];
+      dg.replicas.Add(e.src, p);
+      dg.replicas.Add(e.dst, p);
+      dg.out_edge_partitions.Add(e.src, p);
+      dg.in_edge_partitions.Add(e.dst, p);
+      ++dg.partition_edge_count[p];
+    }
+  }
+  // A vertex is present exactly when some partition got one of its edges.
+  for (graph::VertexId v = 0; v < dg.num_vertices; ++v) {
+    dg.present[v] = dg.replicas.First(v) != ReplicaTable::kInvalid;
+  }
+
+  // Master selection + replica-memory accounting, striped over vertices.
+  // Each stripe owns a disjoint vertex range: the master array entries and
+  // the replica-bitset words it touches belong to its own vertices, and the
+  // cross-stripe aggregates (replica/present counts, per-machine replica
+  // bytes) are integers summed at the join.
+  dg.master.assign(dg.num_vertices, ReplicaTable::kInvalid);
+  const uint64_t num_stripes =
+      (static_cast<uint64_t>(dg.num_vertices) + kMasterStripe - 1) /
+      kMasterStripe;
+  std::vector<uint64_t> stripe_replica_total(num_stripes, 0);
+  std::vector<uint64_t> stripe_present_count(num_stripes, 0);
+  std::vector<std::vector<uint64_t>> stripe_replica_bytes(
+      num_stripes, std::vector<uint64_t>(num_machines, 0));
+  auto run_stripe = [&](uint64_t stripe) {
+    uint64_t replica_total = 0;
+    uint64_t present_count = 0;
+    std::vector<uint64_t>& replica_bytes = stripe_replica_bytes[stripe];
+    const graph::VertexId begin =
+        static_cast<graph::VertexId>(stripe * kMasterStripe);
+    const graph::VertexId end = static_cast<graph::VertexId>(
+        std::min<uint64_t>(dg.num_vertices, (stripe + 1) * kMasterStripe));
+    for (graph::VertexId v = begin; v < end; ++v) {
+      if (!dg.present[v]) continue;
+      ++present_count;
+      MachineId m = ReplicaTable::kInvalid;
+      if (options.use_partitioner_master_preference) {
+        MachineId pref = partitioner.PreferredMaster(v);
+        if (pref != kKeepPlacement) m = pref % num_partitions;
+      }
+      if (m == ReplicaTable::kInvalid) {
+        if (options.master_policy == MasterPolicy::kVertexHash) {
+          m = static_cast<MachineId>(util::Mix64(v ^ options.seed) %
+                                     num_partitions);
+        } else {
+          uint32_t count = dg.replicas.Count(v);
+          m = dg.replicas.Select(
+              v,
+              static_cast<uint32_t>(util::Mix64(v ^ options.seed) % count));
+        }
+      }
+      dg.master[v] = m;
+      dg.replicas.Add(v, m);  // ensure the master location holds a replica
+      replica_total += dg.replicas.Count(v);
+      // Replica memory: one vertex record per master, one mirror record per
+      // additional replica, charged to the hosting machines.
+      dg.replicas.ForEach(v, [&](MachineId p) {
+        const uint64_t bytes =
+            p == m ? sizes.vertex_record : sizes.mirror_record;
+        replica_bytes[dg.MachineOfPartition(p)] += bytes;
+      });
+    }
+    stripe_replica_total[stripe] = replica_total;
+    stripe_present_count[stripe] = present_count;
+  };
+  if (num_threads > 1) {
+    pool.ParallelFor(num_stripes, [&](uint64_t stripe, uint32_t lane) {
+      (void)lane;
+      run_stripe(stripe);
+    });
+  } else {
+    for (uint64_t stripe = 0; stripe < num_stripes; ++stripe) {
+      run_stripe(stripe);
+    }
+  }
+
+  uint64_t replica_total = 0;
+  uint64_t present_count = 0;
+  std::vector<uint64_t> replica_bytes(num_machines, 0);
+  for (uint64_t stripe = 0; stripe < num_stripes; ++stripe) {
+    replica_total += stripe_replica_total[stripe];
+    present_count += stripe_present_count[stripe];
+    for (uint32_t m = 0; m < num_machines; ++m) {
+      replica_bytes[m] += stripe_replica_bytes[stripe][m];
+    }
   }
   dg.num_present_vertices = present_count;
   dg.BuildDegreeCache();
@@ -185,15 +345,8 @@ IngestResult Ingest(const graph::EdgeList& edges, Partitioner& partitioner,
           ? static_cast<double>(replica_total) / present_count
           : 0.0;
 
-  // Replica memory: one vertex record per master, one mirror record per
-  // additional replica, charged to the hosting machines.
-  for (graph::VertexId v = 0; v < dg.num_vertices; ++v) {
-    if (!dg.present[v]) continue;
-    for (MachineId p : dg.replicas.Machines(v)) {
-      uint64_t bytes = p == dg.master[v] ? sizes.vertex_record
-                                         : sizes.mirror_record;
-      cluster.machine(dg.MachineOfPartition(p)).Allocate(bytes);
-    }
+  for (uint32_t m = 0; m < num_machines; ++m) {
+    if (replica_bytes[m] != 0) cluster.machine(m).Allocate(replica_bytes[m]);
   }
   // Per-vertex finalize work (building routing tables) on the masters.
   for (uint32_t m = 0; m < num_machines; ++m) {
@@ -203,12 +356,11 @@ IngestResult Ingest(const graph::EdgeList& edges, Partitioner& partitioner,
   report.pass_seconds.push_back(cluster.EndPhase());
   if (options.timeline != nullptr) options.timeline->Sample(cluster);
 
-  // Ingress done: the partitioner's transient state is released.
-  if (prev_state_bytes > 0) {
-    uint64_t delta = prev_state_bytes / num_machines;
-    for (uint32_t m = 0; m < num_machines; ++m) {
-      cluster.machine(m).Free(delta);
-    }
+  // Ingress done: the partitioner's transient state is released — exactly
+  // the bytes each machine holds, so nothing leaks into steady state.
+  for (uint32_t m = 0; m < num_machines; ++m) {
+    if (state_held[m] != 0) cluster.machine(m).Free(state_held[m]);
+    state_held[m] = 0;
   }
   if (options.timeline != nullptr) {
     options.timeline->Sample(cluster);

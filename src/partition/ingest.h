@@ -26,6 +26,11 @@ struct IngestOptions {
   /// Parallel loaders; 0 means one per machine (the paper splits each
   /// dataset into one block per machine, §5.3).
   uint32_t num_loaders = 0;
+  /// Host threads driving the loaders (and the finalize shards); 0 means
+  /// util::ThreadPool::DefaultThreadCount(), clamped to the loader count.
+  /// 1 runs everything inline. Any value yields bit-identical results —
+  /// see the determinism contract on Ingest().
+  uint32_t num_threads = 0;
   MasterPolicy master_policy = MasterPolicy::kRandomReplica;
   /// Honor Partitioner::PreferredMaster (used with kVertexHash).
   bool use_partitioner_master_preference = false;
@@ -33,6 +38,17 @@ struct IngestOptions {
   /// Optional timeline to sample during ingress (Fig 6.3).
   sim::Timeline* timeline = nullptr;
 };
+
+/// Per-pass ingress CPU cost (in Partitioner work ticks, 0.05 units each)
+/// of reading/deserializing one edge from the input block, independent of
+/// strategy: 50 work units. Text edge lists cost tens of simple operations
+/// per edge to scan and parse — far more than one hash — which is why hash
+/// and greedy strategies have comparable ingress on low-degree graphs
+/// (Fig 5.7): parsing dominates until replica sets get large, and why
+/// ingress rivals or exceeds compute for short jobs (Table 5.1, and the
+/// LFGraph observation cited in Chapter 1).
+inline constexpr uint64_t kParseTicksPerEdge =
+    50 * Partitioner::kTicksPerWorkUnit;
 
 /// What the ingress phase cost (paper §4.3 "Ingress time" plus phase
 /// breakdown).
@@ -57,8 +73,28 @@ struct IngestResult {
 /// The edge stream is split into contiguous per-loader blocks; loader l
 /// runs on machine l % num_machines. Greedy strategies therefore see only
 /// their own block's history, matching the systems' distributed ingress.
+///
+/// Loaders execute on a thread pool (options.num_threads) for passes the
+/// partitioner declares parallel-safe; the finalize (replica tables,
+/// masters, replica memory) is sharded too. Determinism contract: the
+/// produced DistributedGraph, IngressReport, and every per-machine cluster
+/// counter are bit-identical at any thread count, and bit-identical to
+/// IngestReference() run on an equivalent fresh partitioner/cluster. The
+/// contract holds because every per-edge cost is an integer (work ticks,
+/// bytes) counted in per-loader sim::PhaseAccumulator lanes and flushed
+/// once per machine in a canonical order at each pass barrier.
 IngestResult Ingest(const graph::EdgeList& edges, Partitioner& partitioner,
                     sim::Cluster& cluster, const IngestOptions& options = {});
+
+/// Serial reference implementation of Ingest — the oracle for the parallel
+/// pipeline's determinism contract. Single-threaded, no thread pool, no
+/// per-loader scratch: one accumulator filled in loader order and flushed
+/// with the same canonical discipline. Deliberately implemented
+/// independently of Ingest() (tests/ingest_determinism_test.cc compares
+/// them field by field); options.num_threads is ignored.
+IngestResult IngestReference(const graph::EdgeList& edges,
+                             Partitioner& partitioner, sim::Cluster& cluster,
+                             const IngestOptions& options = {});
 
 /// Convenience: partition `edges` with a fresh partitioner of `kind` using
 /// `context` (num_partitions etc. taken from it) on `cluster`.

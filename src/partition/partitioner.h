@@ -85,9 +85,28 @@ struct PartitionContext {
 /// Contract: Assign is called for every edge of the stream, in stream
 /// order, once per pass; `loader` identifies which parallel loader is
 /// processing the edge (constant for a given edge across passes).
+///
+/// Thread-safety contract (the parallel ingress pipeline relies on this):
+///  - Before the first pass the ingestor calls PrepareForIngest(L) with the
+///    loader count it will drive, on one thread.
+///  - During a pass for which PassIsParallelSafe(pass) is true, Assign may
+///    be called concurrently from different threads for *different* loader
+///    indices. Calls for the same loader are always serial and in stream
+///    order. Implementations must therefore shard every mutable member by
+///    loader (GreedyPartitionerBase's LoaderState, Hybrid's degree-counter
+///    shards) or be read-only during that pass; work accounting is already
+///    per-loader (AddWorkTicks). Passes that mutate shared state in stream
+///    order (Hybrid-Ginger's refinement, DBH's global degree counters)
+///    return false and are run serially by the ingestor.
+///  - EndPass(pass) is called on one thread after every loader finished the
+///    pass; shard merges belong there.
+///  - After the last pass, ApproxStateBytes() and PreferredMaster() must be
+///    safe to call concurrently with each other (const, no caching).
 class Partitioner {
  public:
-  explicit Partitioner(const PartitionContext& context) : context_(context) {}
+  explicit Partitioner(const PartitionContext& context)
+      : context_(context),
+        work_ticks_(context.num_loaders > 0 ? context.num_loaders : 1, 0) {}
   virtual ~Partitioner() = default;
 
   const PartitionContext& context() const { return context_; }
@@ -102,21 +121,51 @@ class Partitioner {
   /// Notifies the start of a pass.
   virtual void BeginPass(uint32_t pass) { (void)pass; }
 
+  /// Notifies that every loader finished `pass` (single-threaded). Sharded
+  /// strategies merge their per-loader counters here; see the thread-safety
+  /// contract above.
+  virtual void EndPass(uint32_t pass) { (void)pass; }
+
+  /// True when Assign may be called concurrently for different loaders on
+  /// `pass`. The default suits stateless (hash/constrained) and
+  /// loader-sharded (greedy) strategies; strategies with stream-order
+  /// shared state override per pass.
+  virtual bool PassIsParallelSafe(uint32_t pass) const {
+    (void)pass;
+    return true;
+  }
+
+  /// Sizes per-loader scratch (work-tick lanes, degree-counter shards) for
+  /// the `num_loaders` the ingestor will drive. Called once, before the
+  /// first BeginPass, on one thread. Overrides must call the base.
+  virtual void PrepareForIngest(uint32_t num_loaders) {
+    if (work_ticks_.size() < num_loaders) work_ticks_.resize(num_loaders, 0);
+  }
+
   /// Assigns edge `e` on `pass`; see class contract. Implementations must
-  /// record their per-edge CPU cost with AddWork(); hash strategies charge
-  /// ~1 unit, greedy heuristics charge more (they score each candidate
-  /// machine and probe replica sets), which is what makes their ingress
-  /// slower on skewed graphs (Fig 5.7).
+  /// record their per-edge CPU cost with AddWorkTicks(); hash strategies
+  /// charge ~1 work unit (20 ticks), greedy heuristics charge more (they
+  /// score each candidate machine and probe replica sets), which is what
+  /// makes their ingress slower on skewed graphs (Fig 5.7).
   virtual MachineId Assign(const graph::Edge& e, uint32_t pass,
                            uint32_t loader) = 0;
 
-  /// Returns work units accumulated by Assign() calls since the last call,
-  /// and resets the accumulator. Consumed by the Ingestor after each edge
-  /// (or batch) to charge the loading machine.
-  double TakeAssignWork() {
-    double w = work_accumulator_;
-    work_accumulator_ = 0;
-    return w;
+  /// Granularity of work accounting: one tick = 0.05 simulated work units.
+  /// Every modeled Assign cost is an integer tick count, so per-loader
+  /// accounting lanes sum exactly (uint64) and the ingestor can flush one
+  /// closed-form AddWork per machine — the basis of the parallel pipeline's
+  /// bit-identical cost contract.
+  static constexpr double kWorkPerTick = 0.05;
+  /// Ticks equivalent of one legacy AddWork(1.0) unit.
+  static constexpr uint64_t kTicksPerWorkUnit = 20;
+
+  /// Returns the work ticks accumulated by `loader`'s Assign() calls since
+  /// the last call, and resets that lane. Consumed by the Ingestor after
+  /// each edge to charge the loading machine.
+  uint64_t TakeAssignWorkTicks(uint32_t loader) {
+    uint64_t t = work_ticks_[loader];
+    work_ticks_[loader] = 0;
+    return t;
   }
 
   /// Approximate bytes of partitioner state currently held (degree
@@ -135,12 +184,17 @@ class Partitioner {
   }
 
  protected:
-  /// Charges `work` CPU units to the current Assign call.
-  void AddWork(double work) { work_accumulator_ += work; }
+  /// Charges `ticks` x kWorkPerTick CPU units to `loader`'s accounting
+  /// lane. Safe to call concurrently for different loaders.
+  void AddWorkTicks(uint32_t loader, uint64_t ticks) {
+    work_ticks_[loader] += ticks;
+  }
 
  private:
   PartitionContext context_;
-  double work_accumulator_ = 0;
+  /// Per-loader work-tick lanes; sized by the context's loader count and
+  /// grown by PrepareForIngest.
+  std::vector<uint64_t> work_ticks_;
 };
 
 /// Factory for any strategy.

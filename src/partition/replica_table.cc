@@ -15,6 +15,14 @@ ReplicaTable::ReplicaTable(graph::VertexId num_vertices,
 
 void ReplicaTable::Reset() { std::fill(words_.begin(), words_.end(), 0); }
 
+void ReplicaTable::MergeFrom(const ReplicaTable& other) {
+  GDP_CHECK_EQ(num_vertices_, other.num_vertices_);
+  GDP_CHECK_EQ(num_machines_, other.num_machines_);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    words_[w] |= other.words_[w];
+  }
+}
+
 bool ReplicaTable::Add(graph::VertexId v, sim::MachineId m) {
   GDP_CHECK_LT(v, num_vertices_);
   GDP_CHECK_LT(m, num_machines_);

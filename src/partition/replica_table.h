@@ -32,8 +32,24 @@ class ReplicaTable {
   /// Lowest-indexed machine holding v, or kInvalid when none.
   sim::MachineId First(graph::VertexId v) const;
 
-  /// All machines holding v, ascending.
+  /// All machines holding v, ascending. Allocates; hot loops use ForEach
+  /// or WordsOf instead.
   std::vector<sim::MachineId> Machines(graph::VertexId v) const;
+
+  /// Word-level view of v's replica bitset: words_per_vertex() words,
+  /// machine m lives at bit m % 64 of word m / 64. Lets the greedy kernels
+  /// intersect/union two replica sets with direct AND/OR on the words —
+  /// no allocation, no sorted-vector merge.
+  const uint64_t* WordsOf(graph::VertexId v) const {
+    return words_.data() + static_cast<size_t>(v) * words_per_vertex_;
+  }
+
+  uint32_t words_per_vertex() const { return words_per_vertex_; }
+
+  /// OR-merges `other` (same shape) into this table, word-wise. Used by the
+  /// parallel ingest finalize to combine per-thread shards; bitwise OR is
+  /// associative and commutative, so any merge order yields the same table.
+  void MergeFrom(const ReplicaTable& other);
 
   /// The k-th machine (0-based, ascending order) of v's replica set.
   /// Precondition: k < Count(v).
@@ -71,8 +87,6 @@ class ReplicaTable {
   static constexpr sim::MachineId kInvalid = static_cast<sim::MachineId>(-1);
 
  private:
-  uint32_t words_per_vertex() const { return words_per_vertex_; }
-
   graph::VertexId num_vertices_ = 0;
   uint32_t num_machines_ = 0;
   uint32_t words_per_vertex_ = 0;

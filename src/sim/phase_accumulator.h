@@ -8,7 +8,9 @@
 
 namespace gdp::sim {
 
-/// Per-thread accounting scratch for one parallel engine minor-step.
+/// Per-thread accounting scratch for one parallel engine minor-step (also
+/// used per-loader by the parallel ingress pipeline, whose unit is one
+/// Partitioner work tick = 0.05 units).
 ///
 /// The parallel GAS engine must produce *bit-identical* simulated costs at
 /// any thread count, including the costs the original serial engine

@@ -1,0 +1,244 @@
+// The parallel ingress pipeline's determinism contract: Ingest() must
+// produce a bit-identical DistributedGraph, IngressReport, and per-machine
+// cluster accounting at ANY thread count, all equal to the serial
+// IngestReference() oracle. Every strategy kind is exercised, including the
+// ones whose passes the pipeline must serialize (DBH, H-Ginger passes 1-2).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "graph/generators.h"
+#include "partition/ingest.h"
+#include "sim/cluster.h"
+
+namespace gdp::partition {
+namespace {
+
+constexpr uint32_t kMachines = 7;  // does not divide most state sizes
+constexpr uint32_t kLoaders = 13;
+
+PartitionContext MakeContext(graph::VertexId vertices) {
+  PartitionContext context;
+  context.num_partitions = kMachines;
+  context.num_vertices = vertices;
+  context.num_loaders = kLoaders;
+  context.seed = 29;
+  return context;
+}
+
+graph::EdgeList TestGraph() {
+  return graph::GenerateHeavyTailed(
+      {.num_vertices = 3000, .edges_per_vertex = 6, .seed = 41});
+}
+
+struct IngestRun {
+  IngestResult result;
+  std::vector<double> busy_seconds;
+  std::vector<uint64_t> bytes_sent;
+  std::vector<uint64_t> bytes_received;
+  std::vector<uint64_t> memory_bytes;
+  std::vector<uint64_t> peak_memory_bytes;
+  double now_seconds = 0;
+};
+
+IngestRun RunIngest(const graph::EdgeList& edges, StrategyKind kind,
+              const IngestOptions& options, bool reference) {
+  PartitionContext context = MakeContext(edges.num_vertices());
+  std::unique_ptr<Partitioner> partitioner = MakePartitioner(kind, context);
+  sim::Cluster cluster(kMachines, sim::CostModel{});
+  IngestRun run;
+  run.result = reference
+                   ? IngestReference(edges, *partitioner, cluster, options)
+                   : Ingest(edges, *partitioner, cluster, options);
+  for (uint32_t m = 0; m < kMachines; ++m) {
+    const sim::Machine& machine = cluster.machine(m);
+    run.busy_seconds.push_back(machine.busy_seconds());
+    run.bytes_sent.push_back(machine.bytes_sent());
+    run.bytes_received.push_back(machine.bytes_received());
+    run.memory_bytes.push_back(machine.memory_bytes());
+    run.peak_memory_bytes.push_back(machine.peak_memory_bytes());
+  }
+  run.now_seconds = cluster.now_seconds();
+  return run;
+}
+
+void ExpectRunsIdentical(const IngestRun& expected, const IngestRun& actual,
+                         const std::string& label) {
+  SCOPED_TRACE(label);
+  const DistributedGraph& a = expected.result.graph;
+  const DistributedGraph& b = actual.result.graph;
+  ASSERT_EQ(a.num_partitions, b.num_partitions);
+  ASSERT_EQ(a.edge_partition.size(), b.edge_partition.size());
+  EXPECT_EQ(a.edge_partition, b.edge_partition);
+  EXPECT_EQ(a.master, b.master);
+  EXPECT_EQ(a.present, b.present);
+  EXPECT_EQ(a.num_present_vertices, b.num_present_vertices);
+  EXPECT_EQ(a.partition_edge_count, b.partition_edge_count);
+  EXPECT_EQ(a.replication_factor, b.replication_factor);
+  for (graph::VertexId v = 0; v < a.num_vertices; ++v) {
+    ASSERT_EQ(a.replicas.Count(v), b.replicas.Count(v)) << "v=" << v;
+    ASSERT_EQ(a.in_edge_partitions.Count(v), b.in_edge_partitions.Count(v));
+    ASSERT_EQ(a.out_edge_partitions.Count(v),
+              b.out_edge_partitions.Count(v));
+    for (sim::MachineId p = 0; p < a.num_partitions; ++p) {
+      ASSERT_EQ(a.replicas.Contains(v, p), b.replicas.Contains(v, p));
+    }
+  }
+
+  const IngressReport& ra = expected.result.report;
+  const IngressReport& rb = actual.result.report;
+  EXPECT_EQ(ra.ingress_seconds, rb.ingress_seconds);
+  ASSERT_EQ(ra.pass_seconds.size(), rb.pass_seconds.size());
+  for (size_t i = 0; i < ra.pass_seconds.size(); ++i) {
+    EXPECT_EQ(ra.pass_seconds[i], rb.pass_seconds[i]) << "pass " << i;
+  }
+  EXPECT_EQ(ra.edges_moved, rb.edges_moved);
+  EXPECT_EQ(ra.replication_factor, rb.replication_factor);
+  EXPECT_EQ(ra.edge_balance_ratio, rb.edge_balance_ratio);
+  EXPECT_EQ(ra.peak_state_bytes, rb.peak_state_bytes);
+
+  EXPECT_EQ(expected.busy_seconds, actual.busy_seconds);
+  EXPECT_EQ(expected.bytes_sent, actual.bytes_sent);
+  EXPECT_EQ(expected.bytes_received, actual.bytes_received);
+  EXPECT_EQ(expected.memory_bytes, actual.memory_bytes);
+  EXPECT_EQ(expected.peak_memory_bytes, actual.peak_memory_bytes);
+  EXPECT_EQ(expected.now_seconds, actual.now_seconds);
+}
+
+class IngestDeterminismTest : public ::testing::TestWithParam<StrategyKind> {
+};
+
+TEST_P(IngestDeterminismTest, BitIdenticalToReferenceAtAnyThreadCount) {
+  graph::EdgeList edges = TestGraph();
+  IngestOptions options;
+  options.num_loaders = kLoaders;
+  IngestRun reference = RunIngest(edges, GetParam(), options, /*reference=*/true);
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    options.num_threads = threads;
+    IngestRun parallel = RunIngest(edges, GetParam(), options,
+                             /*reference=*/false);
+    ExpectRunsIdentical(reference, parallel,
+                        "threads=" + std::to_string(threads));
+  }
+}
+
+TEST_P(IngestDeterminismTest, MasterPreferenceAndVertexHashPolicyAgree) {
+  graph::EdgeList edges = TestGraph();
+  IngestOptions options;
+  options.num_loaders = kLoaders;
+  options.master_policy = MasterPolicy::kVertexHash;
+  options.use_partitioner_master_preference = true;
+  IngestRun reference = RunIngest(edges, GetParam(), options, /*reference=*/true);
+  options.num_threads = 8;
+  IngestRun parallel = RunIngest(edges, GetParam(), options, /*reference=*/false);
+  ExpectRunsIdentical(reference, parallel, "vertex-hash masters, threads=8");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, IngestDeterminismTest,
+    ::testing::Values(StrategyKind::kRandom, StrategyKind::kAsymmetricRandom,
+                      StrategyKind::kGrid, StrategyKind::kPds,
+                      StrategyKind::kOblivious, StrategyKind::kHdrf,
+                      StrategyKind::kHybrid, StrategyKind::kHybridGinger,
+                      StrategyKind::kOneD, StrategyKind::kOneDTarget,
+                      StrategyKind::kTwoD, StrategyKind::kChunked,
+                      StrategyKind::kDbh),
+    [](const ::testing::TestParamInfo<StrategyKind>& info) {
+      switch (info.param) {
+        case StrategyKind::kRandom: return std::string("Random");
+        case StrategyKind::kAsymmetricRandom:
+          return std::string("AsymmetricRandom");
+        case StrategyKind::kGrid: return std::string("Grid");
+        case StrategyKind::kPds: return std::string("Pds");  // 7 = 2^2+2+1
+        case StrategyKind::kOblivious: return std::string("Oblivious");
+        case StrategyKind::kHdrf: return std::string("Hdrf");
+        case StrategyKind::kHybrid: return std::string("Hybrid");
+        case StrategyKind::kHybridGinger: return std::string("HybridGinger");
+        case StrategyKind::kOneD: return std::string("OneD");
+        case StrategyKind::kOneDTarget: return std::string("OneDTarget");
+        case StrategyKind::kTwoD: return std::string("TwoD");
+        case StrategyKind::kChunked: return std::string("Chunked");
+        case StrategyKind::kDbh: return std::string("Dbh");
+        default: return std::string("Other");
+      }
+    });
+
+// The partition count is authoritative from the PartitionContext: a GraphX
+// style run (72 partitions on 9 machines) reports 72 partitions even on an
+// input so small that hashing never emits the last partition id.
+TEST(IngestDeterminismTest, PartitionCountIsAuthoritativeOnTinyInput) {
+  graph::EdgeList edges;
+  edges.AddEdge(0, 1);
+  edges.AddEdge(1, 2);
+  PartitionContext context;
+  context.num_partitions = 72;
+  context.num_vertices = 3;
+  context.num_loaders = 9;
+  sim::Cluster cluster(9, sim::CostModel{});
+  IngestResult r =
+      IngestWithStrategy(edges, StrategyKind::kRandom, context, cluster);
+  EXPECT_EQ(r.graph.num_partitions, 72u);
+  EXPECT_EQ(r.graph.partition_edge_count.size(), 72u);
+}
+
+// Memory conservation: with every transient released, end-of-ingress bytes
+// are exactly the durable structures — edge records at the hosting
+// machines, one vertex record per master, one mirror record per extra
+// replica. kMachines = 7 does not divide the partitioner-state deltas, so
+// this fails if the state spreading drops remainders (the old
+// `delta / num_machines` bug under-freed what it never charged and
+// over-freed what it did).
+class IngestConservationTest
+    : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(IngestConservationTest, EndOfIngressBytesAreExactlyDurableState) {
+  graph::EdgeList edges = TestGraph();
+  PartitionContext context = MakeContext(edges.num_vertices());
+  std::unique_ptr<Partitioner> partitioner =
+      MakePartitioner(GetParam(), context);
+  sim::Cluster cluster(kMachines, sim::CostModel{});
+  IngestOptions options;
+  options.num_loaders = kLoaders;
+  IngestResult r = Ingest(edges, *partitioner, cluster, options);
+  const DistributedGraph& dg = r.graph;
+  const sim::ObjectSizes sizes;
+
+  std::vector<uint64_t> expected(kMachines, 0);
+  for (uint64_t i = 0; i < dg.edges.size(); ++i) {
+    expected[dg.MachineOfPartition(dg.edge_partition[i])] +=
+        sizes.edge_record;
+  }
+  for (graph::VertexId v = 0; v < dg.num_vertices; ++v) {
+    if (!dg.present[v]) continue;
+    dg.replicas.ForEach(v, [&](sim::MachineId p) {
+      expected[dg.MachineOfPartition(p)] +=
+          p == dg.master[v] ? sizes.vertex_record : sizes.mirror_record;
+    });
+  }
+  for (uint32_t m = 0; m < kMachines; ++m) {
+    EXPECT_EQ(cluster.machine(m).memory_bytes(), expected[m]) << "m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GreedyAndMultiPass, IngestConservationTest,
+                         ::testing::Values(StrategyKind::kOblivious,
+                                           StrategyKind::kHdrf,
+                                           StrategyKind::kHybrid,
+                                           StrategyKind::kHybridGinger),
+                         [](const ::testing::TestParamInfo<StrategyKind>& i) {
+                           switch (i.param) {
+                             case StrategyKind::kOblivious:
+                               return std::string("Oblivious");
+                             case StrategyKind::kHdrf:
+                               return std::string("Hdrf");
+                             case StrategyKind::kHybrid:
+                               return std::string("Hybrid");
+                             default:
+                               return std::string("HybridGinger");
+                           }
+                         });
+
+}  // namespace
+}  // namespace gdp::partition

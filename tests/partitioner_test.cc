@@ -112,7 +112,8 @@ TEST_P(EveryStrategyTest, ChargesIngressWork) {
   double work = 0;
   for (const graph::Edge& e : edges.edges()) {
     p->Assign(e, 0, 0);
-    work += p->TakeAssignWork();
+    work += Partitioner::kWorkPerTick *
+            static_cast<double>(p->TakeAssignWorkTicks(0));
   }
   EXPECT_GT(work, 0.0) << "strategy must charge CPU work";
 }

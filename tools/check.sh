@@ -8,7 +8,8 @@
 #      in src/partition/validate.h are live) + full ctest suite, failing on
 #      any sanitizer report (halt_on_error);
 #   3. TSan build (GDP_SANITIZE=thread) running the engine / frontier /
-#      thread-pool test targets — the parallel GAS engine's data-race gate.
+#      thread-pool / parallel-ingress test targets — the data-race gate for
+#      the parallel GAS engine and the parallel ingest pipeline.
 #      Timing-sensitive claims benches are excluded (TSan's ~10x slowdown
 #      makes their wall-clock thresholds meaningless).
 #
@@ -71,15 +72,16 @@ run_leg "asan+ubsan" "$ROOT/build-asan" "" \
   -DCMAKE_BUILD_TYPE=Debug \
   "-DGDP_SANITIZE=address;undefined"
 
-# Leg 3: TSan over the concurrency surface — the parallel GAS engine, its
-# frontier/thread-pool/accumulator utilities, and the sim layer they charge.
-# RelWithDebInfo: TSan+Debug is too slow for the determinism matrix, and the
-# race coverage is identical. The -R filter selects the discovered gtest
-# suites that exercise threads; claims_ benches are timing-based and
-# excluded (none of them match).
+# Leg 3: TSan over the concurrency surface — the parallel GAS engine, the
+# parallel ingress pipeline (Ingest* matches the ingest determinism +
+# conservation suites), their frontier/thread-pool/accumulator utilities,
+# and the sim layer they charge. RelWithDebInfo: TSan+Debug is too slow for
+# the determinism matrix, and the race coverage is identical. The -R filter
+# selects the discovered gtest suites that exercise threads; claims_
+# benches are timing-based and excluded (none of them match).
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 run_leg "tsan" "$ROOT/build-tsan" \
-  '(EngineDeterminism|EngineCorrectness|EngineAccounting|EngineEdge|ExecutionPlan|KCoreDeterminism|ThreadPool|DenseBitset|PhaseAccumulator|Machine|Cluster|Async)' \
+  '(EngineDeterminism|EngineCorrectness|EngineAccounting|EngineEdge|ExecutionPlan|KCoreDeterminism|ThreadPool|DenseBitset|PhaseAccumulator|Machine|Cluster|Async|Ingest)' \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGDP_SANITIZE=thread
 
