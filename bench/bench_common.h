@@ -7,9 +7,11 @@
 // and whether this run reproduces it. Absolute numbers are simulator-scale;
 // only orderings, ratios, and crossovers are meant to match (DESIGN.md §2).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -17,8 +19,18 @@
 #include "graph/generators.h"
 #include "harness/experiment.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace gdp::bench {
+
+/// Which slice of the dataset grid a bench actually reads. Generation cost
+/// is per-graph (Twitter/UK-web dominate), so binaries that only walk one
+/// system's set skip the others' graphs entirely.
+enum class DatasetSet {
+  kAll,
+  kPowerGraph,  ///< road-CA, road-USA, LiveJournal, Twitter, UK-web (§5.3)
+  kGraphX,      ///< road-CA, road-USA, LiveJournal, Enwiki (§7.3)
+};
 
 /// The paper's dataset grid (Table 4.2), scaled to run on one core in
 /// seconds. Degree-distribution class per stand-in is what matters.
@@ -41,49 +53,96 @@ struct Datasets {
   }
 };
 
-/// Builds the full dataset grid. `scale` multiplies vertex counts
-/// (1.0 = default bench scale, smaller for smoke tests).
-inline Datasets MakeDatasets(double scale = 1.0) {
+/// Builds the requested slice of the dataset grid. `scale` multiplies
+/// vertex counts (1.0 = default bench scale, smaller for smoke tests).
+/// Generators run concurrently on a thread pool: each graph is produced by
+/// an independent, self-seeded generator, so the result is bit-identical
+/// to serial generation at any thread count. Graphs outside `set` are left
+/// empty (reading one is a bug in the calling bench).
+inline Datasets MakeDatasets(double scale = 1.0,
+                             DatasetSet set = DatasetSet::kAll) {
   auto v = [scale](uint32_t n) {
     return static_cast<uint32_t>(n * scale) + 16;
   };
   Datasets d;
-  d.road_ca = graph::GenerateRoadNetwork(
-      {.width = v(130), .height = v(130), .seed = 0xCA});
-  d.road_ca.set_name("road-net-CA");
-  d.road_usa = graph::GenerateRoadNetwork(
-      {.width = v(260), .height = v(260), .seed = 0x05A});
-  d.road_usa.set_name("road-net-USA");
-  d.livejournal = graph::GenerateHeavyTailed(
-      {.num_vertices = v(30000), .edges_per_vertex = 9, .seed = 0x17});
-  d.livejournal.set_name("LiveJournal");
-  d.enwiki = graph::GenerateHeavyTailed(
-      {.num_vertices = v(22000),
-       .edges_per_vertex = 12,
-       .reciprocal_fraction = 0.15,
-       .seed = 0xE7});
-  d.enwiki.set_name("Enwiki-2013");
-  d.twitter = graph::GenerateHeavyTailed(
-      {.num_vertices = v(50000), .edges_per_vertex = 14, .seed = 0x7F});
-  d.twitter.set_name("Twitter");
-  d.ukweb = graph::GeneratePowerLawWeb(
-      {.num_vertices = v(60000), .out_alpha = 1.3, .seed = 0x0B});
-  d.ukweb.set_name("UK-web");
+  struct Task {
+    bool power_graph;
+    bool graphx;
+    std::function<void()> generate;
+  };
+  const std::vector<Task> all_tasks = {
+      {true, true,
+       [&] {
+         d.road_ca = graph::GenerateRoadNetwork(
+             {.width = v(130), .height = v(130), .seed = 0xCA});
+         d.road_ca.set_name("road-net-CA");
+       }},
+      {true, true,
+       [&] {
+         d.road_usa = graph::GenerateRoadNetwork(
+             {.width = v(260), .height = v(260), .seed = 0x05A});
+         d.road_usa.set_name("road-net-USA");
+       }},
+      {true, true,
+       [&] {
+         d.livejournal = graph::GenerateHeavyTailed(
+             {.num_vertices = v(30000), .edges_per_vertex = 9, .seed = 0x17});
+         d.livejournal.set_name("LiveJournal");
+       }},
+      {false, true,
+       [&] {
+         d.enwiki = graph::GenerateHeavyTailed(
+             {.num_vertices = v(22000),
+              .edges_per_vertex = 12,
+              .reciprocal_fraction = 0.15,
+              .seed = 0xE7});
+         d.enwiki.set_name("Enwiki-2013");
+       }},
+      {true, false,
+       [&] {
+         d.twitter = graph::GenerateHeavyTailed(
+             {.num_vertices = v(50000), .edges_per_vertex = 14, .seed = 0x7F});
+         d.twitter.set_name("Twitter");
+       }},
+      {true, false,
+       [&] {
+         d.ukweb = graph::GeneratePowerLawWeb(
+             {.num_vertices = v(60000), .out_alpha = 1.3, .seed = 0x0B});
+         d.ukweb.set_name("UK-web");
+       }},
+  };
+  std::vector<const Task*> selected;
+  for (const Task& task : all_tasks) {
+    if (set == DatasetSet::kAll || (set == DatasetSet::kPowerGraph &&
+                                    task.power_graph) ||
+        (set == DatasetSet::kGraphX && task.graphx)) {
+      selected.push_back(&task);
+    }
+  }
+  util::ThreadPool pool(std::min<uint32_t>(
+      static_cast<uint32_t>(selected.size()),
+      util::ThreadPool::DefaultThreadCount()));
+  pool.ParallelFor(selected.size(),
+                   [&](uint64_t i, uint32_t) { selected[i]->generate(); });
   return d;
 }
 
 namespace internal {
-/// Slug of the current bench (set by PrintHeader) for CSV export.
-inline std::string& CsvSlug() {
-  static std::string slug;
-  return slug;
+/// CSV sink of the current bench: opened (truncated) by PrintHeader when
+/// GDP_BENCH_CSV_DIR is set, appended to by every PrintTable afterwards,
+/// and kept open for the binary's lifetime instead of being reopened per
+/// table.
+inline std::ofstream& CsvStream() {
+  static std::ofstream out;
+  return out;
 }
 }  // namespace internal
 
-/// Prints a bench header naming the paper artifact reproduced. Also
-/// registers a file slug so that, when the environment variable
-/// GDP_BENCH_CSV_DIR is set, every table printed afterwards is appended as
-/// CSV to <dir>/<slug>.csv for plotting.
+/// Prints a bench header naming the paper artifact reproduced. Also derives
+/// a file slug from the artifact name so that, when the environment
+/// variable GDP_BENCH_CSV_DIR is set, every table printed afterwards is
+/// appended as CSV (fields quoted per RFC 4180, see util::Table::CsvEscape)
+/// to <dir>/<slug>.csv for plotting.
 inline void PrintHeader(const std::string& artifact,
                         const std::string& setup) {
   std::printf("\n==================================================\n");
@@ -98,12 +157,11 @@ inline void PrintHeader(const std::string& artifact,
       slug += '_';
     }
   }
-  internal::CsvSlug() = slug;
   const char* dir = std::getenv("GDP_BENCH_CSV_DIR");
   if (dir != nullptr && !slug.empty()) {
-    // Truncate any previous run's file.
-    std::ofstream(std::string(dir) + "/" + slug + ".csv",
-                  std::ios::trunc);
+    std::ofstream& out = internal::CsvStream();
+    if (out.is_open()) out.close();
+    out.open(std::string(dir) + "/" + slug + ".csv", std::ios::trunc);
   }
 }
 
@@ -115,12 +173,8 @@ inline bool Claim(const std::string& text, bool holds) {
 
 inline void PrintTable(const util::Table& table) {
   std::printf("%s", table.ToAscii().c_str());
-  const char* dir = std::getenv("GDP_BENCH_CSV_DIR");
-  if (dir != nullptr && !internal::CsvSlug().empty()) {
-    std::ofstream out(std::string(dir) + "/" + internal::CsvSlug() + ".csv",
-                      std::ios::app);
-    out << table.ToCsv() << "\n";
-  }
+  std::ofstream& out = internal::CsvStream();
+  if (out.is_open()) out << table.ToCsv() << "\n";
 }
 
 }  // namespace gdp::bench

@@ -8,6 +8,8 @@
 #include <map>
 
 #include "bench_common.h"
+#include "harness/grid.h"
+#include "harness/partition_cache.h"
 #include "util/stats.h"
 
 int main() {
@@ -18,7 +20,7 @@ int main() {
   bench::PrintHeader(
       "Figs 5.3/5.4/5.5 — Net IO / Compute time / Peak memory vs RF",
       "PowerGraph engine, 25 machines, UK-web analog");
-  bench::Datasets data = bench::MakeDatasets();
+  bench::Datasets data = bench::MakeDatasets(1.0, bench::DatasetSet::kPowerGraph);
 
   const std::vector<StrategyKind> strategies = {
       StrategyKind::kRandom, StrategyKind::kHdrf, StrategyKind::kOblivious,
@@ -28,12 +30,10 @@ int main() {
       {AppKind::kPageRankFixed, 10}, {AppKind::kWcc, 0},
       {AppKind::kSssp, 0},          {AppKind::kPageRankConvergent, 0}};
 
-  util::Table table({"app", "strategy", "RF", "inbound-net(MB)",
-                     "compute(s)", "peak-mem(MB)"});
-  std::map<AppKind, util::LinearFit> net_fit, time_fit, mem_fit;
-  bool all_positive = true;
+  // The grid: one compute cell per (app, strategy). The four ingests are
+  // shared across the six apps through the partition cache.
+  std::vector<harness::GridCell> cells;
   for (auto [app, iters] : apps) {
-    std::vector<double> rfs, nets, times, mems;
     for (StrategyKind strategy : strategies) {
       harness::ExperimentSpec spec;
       spec.engine = engine::EngineKind::kPowerGraphSync;
@@ -43,7 +43,24 @@ int main() {
       spec.max_iterations = iters == 0 ? 100 : iters;
       spec.kcore_kmin = 5;
       spec.kcore_kmax = 15;
-      harness::ExperimentResult r = harness::RunExperiment(data.ukweb, spec);
+      cells.push_back({&data.ukweb, spec, /*ingress_only=*/false});
+    }
+  }
+  harness::PartitionCache cache;
+  harness::GridOptions grid_options;
+  grid_options.cache = &cache;
+  const std::vector<harness::ExperimentResult> results =
+      harness::RunGrid(cells, grid_options);
+
+  util::Table table({"app", "strategy", "RF", "inbound-net(MB)",
+                     "compute(s)", "peak-mem(MB)"});
+  std::map<AppKind, util::LinearFit> net_fit, time_fit, mem_fit;
+  bool all_positive = true;
+  size_t cell = 0;
+  for (auto [app, iters] : apps) {
+    std::vector<double> rfs, nets, times, mems;
+    for (StrategyKind strategy : strategies) {
+      const harness::ExperimentResult& r = results[cell++];
       double inbound_mb = r.compute.mean_inbound_bytes_per_machine / 1e6;
       double mem_mb = r.mean_peak_memory_bytes / 1e6;
       table.AddRow({harness::AppKindName(app),

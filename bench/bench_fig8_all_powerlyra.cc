@@ -8,6 +8,8 @@
 #include <map>
 
 #include "bench_common.h"
+#include "harness/grid.h"
+#include "harness/partition_cache.h"
 
 int main() {
   using namespace gdp;
@@ -15,7 +17,7 @@ int main() {
 
   bench::PrintHeader("Figs 8.1/8.2 — PowerLyra with all strategies",
                      "9 strategies x 5 graphs x clusters {9,25}");
-  bench::Datasets data = bench::MakeDatasets();
+  bench::Datasets data = bench::MakeDatasets(1.0, bench::DatasetSet::kPowerGraph);
 
   // The paper's Fig 8.1/8.2 strategy set (1D-Target excluded there).
   const std::vector<StrategyKind> strategies = {
@@ -25,7 +27,27 @@ int main() {
       StrategyKind::kHybridGinger,     StrategyKind::kOblivious,
       StrategyKind::kRandom};
 
+  // One ingress-only cell per (cluster, graph, strategy), in print order.
+  std::vector<harness::GridCell> cells;
+  for (uint32_t machines : {9u, 25u}) {
+    for (const graph::EdgeList* edges : data.PowerGraphSet()) {
+      for (StrategyKind strategy : strategies) {
+        harness::ExperimentSpec spec;
+        spec.engine = engine::EngineKind::kPowerLyraHybrid;
+        spec.strategy = strategy;
+        spec.num_machines = machines;
+        cells.push_back({edges, spec, /*ingress_only=*/true});
+      }
+    }
+  }
+  harness::PartitionCache cache;
+  harness::GridOptions grid_options;
+  grid_options.cache = &cache;
+  const std::vector<harness::ExperimentResult> results =
+      harness::RunGrid(cells, grid_options);
+
   std::map<std::string, std::map<StrategyKind, double>> rf9;
+  size_t cell = 0;
   for (uint32_t machines : {9u, 25u}) {
     std::vector<std::string> header{"graph"};
     for (StrategyKind s : strategies) header.push_back(partition::StrategyName(s));
@@ -35,11 +57,7 @@ int main() {
       std::vector<std::string> rf_row{edges->name()};
       std::vector<std::string> time_row{edges->name()};
       for (StrategyKind strategy : strategies) {
-        harness::ExperimentSpec spec;
-        spec.engine = engine::EngineKind::kPowerLyraHybrid;
-        spec.strategy = strategy;
-        spec.num_machines = machines;
-        harness::ExperimentResult r = harness::RunIngressOnly(*edges, spec);
+        const harness::ExperimentResult& r = results[cell++];
         rf_row.push_back(util::Table::Num(r.replication_factor));
         time_row.push_back(util::Table::Num(r.ingress.ingress_seconds, 4));
         if (machines == 9) rf9[edges->name()][strategy] = r.replication_factor;

@@ -8,6 +8,19 @@ KCoreResult KCoreDecompose(engine::EngineKind engine_kind,
                            const partition::DistributedGraph& dg,
                            sim::Cluster& cluster, uint32_t kmin,
                            uint32_t kmax, const engine::RunOptions& options) {
+  // One plan serves every k-stage: the plan is a pure function of the
+  // partitioned graph and KCoreApp's directions.
+  const engine::ExecutionPlan plan = engine::ExecutionPlan::Build(
+      dg, KCoreApp::kGatherDir, KCoreApp::kScatterDir,
+      engine_kind == engine::EngineKind::kGraphXPregel);
+  return KCoreDecompose(engine_kind, plan, cluster, kmin, kmax, options);
+}
+
+KCoreResult KCoreDecompose(engine::EngineKind engine_kind,
+                           const engine::ExecutionPlan& plan,
+                           sim::Cluster& cluster, uint32_t kmin,
+                           uint32_t kmax, const engine::RunOptions& options) {
+  const partition::DistributedGraph& dg = *plan.dg;
   KCoreResult result;
   result.core_number.assign(dg.num_vertices, kmin > 0 ? kmin - 1 : 0);
   std::vector<bool> alive(dg.num_vertices, true);
@@ -16,7 +29,7 @@ KCoreResult KCoreDecompose(engine::EngineKind engine_kind,
     app.k = k;
     app.initial_alive = &alive;
     engine::GasRunResult<KCoreApp> run =
-        engine::RunGasEngine(engine_kind, dg, cluster, app, options);
+        engine::RunGasEngine(engine_kind, plan, cluster, app, options);
     uint64_t survivors = 0;
     for (graph::VertexId v = 0; v < dg.num_vertices; ++v) {
       alive[v] = dg.present[v] && run.states[v] != 0;

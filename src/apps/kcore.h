@@ -76,6 +76,17 @@ KCoreResult KCoreDecompose(engine::EngineKind engine_kind,
                            uint32_t kmax,
                            const engine::RunOptions& options = {});
 
+/// Same, over a prebuilt ExecutionPlan (shared across the per-k stages and,
+/// via engine::PlanCache, across grid cells). The plan must match
+/// KCoreApp's directions (kBoth/kBoth), with GraphX fan-out counts when
+/// `engine_kind` is kGraphXPregel. Results are identical to the
+/// DistributedGraph overload, which builds this plan itself.
+KCoreResult KCoreDecompose(engine::EngineKind engine_kind,
+                           const engine::ExecutionPlan& plan,
+                           sim::Cluster& cluster, uint32_t kmin,
+                           uint32_t kmax,
+                           const engine::RunOptions& options = {});
+
 }  // namespace gdp::apps
 
 #endif  // GDP_APPS_KCORE_H_

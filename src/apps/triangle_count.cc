@@ -65,15 +65,26 @@ TriangleCountResult CountTriangles(engine::EngineKind kind,
                                    const partition::DistributedGraph& dg,
                                    sim::Cluster& cluster,
                                    const engine::RunOptions& options) {
+  const engine::ExecutionPlan plan = engine::ExecutionPlan::Build(
+      dg, NeighborListApp::kGatherDir, NeighborListApp::kScatterDir,
+      kind == engine::EngineKind::kGraphXPregel);
+  return CountTriangles(kind, plan, cluster, options);
+}
+
+TriangleCountResult CountTriangles(engine::EngineKind kind,
+                                   const engine::ExecutionPlan& plan,
+                                   sim::Cluster& cluster,
+                                   const engine::RunOptions& options) {
+  const partition::DistributedGraph& dg = *plan.dg;
   engine::RunOptions phase_options = options;
   phase_options.max_iterations = 1;
 
-  auto phase1 = engine::RunGasEngine(kind, dg, cluster, NeighborListApp{},
+  auto phase1 = engine::RunGasEngine(kind, plan, cluster, NeighborListApp{},
                                      phase_options);
   IntersectApp phase2_app;
   phase2_app.lists = &phase1.states;
   auto phase2 =
-      engine::RunGasEngine(kind, dg, cluster, phase2_app, phase_options);
+      engine::RunGasEngine(kind, plan, cluster, phase2_app, phase_options);
 
   TriangleCountResult result;
   result.per_vertex.assign(dg.num_vertices, 0);

@@ -79,6 +79,16 @@ TriangleCountResult CountTriangles(engine::EngineKind kind,
                                    sim::Cluster& cluster,
                                    const engine::RunOptions& options = {});
 
+/// Same, over a prebuilt ExecutionPlan. Both phases gather from kBoth and
+/// scatter to kNone, so one plan drives the whole count; results are
+/// identical to the DistributedGraph overload, which builds this plan
+/// itself. GraphX fan-out counts must be present when `kind` is
+/// kGraphXPregel.
+TriangleCountResult CountTriangles(engine::EngineKind kind,
+                                   const engine::ExecutionPlan& plan,
+                                   sim::Cluster& cluster,
+                                   const engine::RunOptions& options = {});
+
 /// Sequential reference: exact triangle count via sorted-adjacency
 /// intersection.
 uint64_t ReferenceTriangleCount(const graph::EdgeList& edges);

@@ -1,0 +1,30 @@
+#include "engine/plan_cache.h"
+
+namespace gdp::engine {
+
+const ExecutionPlan& PlanCache::Get(EdgeDirection gather_dir,
+                                    EdgeDirection scatter_dir,
+                                    bool graphx_counts) {
+  Slot* slot = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Slot>& entry =
+        slots_[Key{gather_dir, scatter_dir, graphx_counts}];
+    if (entry == nullptr) entry = std::make_unique<Slot>();
+    slot = entry.get();
+  }
+  // Build outside the map lock so unrelated keys construct concurrently;
+  // call_once serializes callers racing on the *same* key.
+  std::call_once(slot->once, [&] {
+    slot->plan =
+        ExecutionPlan::Build(*dg_, gather_dir, scatter_dir, graphx_counts);
+  });
+  return slot->plan;
+}
+
+size_t PlanCache::num_plans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+}  // namespace gdp::engine

@@ -1,0 +1,57 @@
+#ifndef GDP_ENGINE_PLAN_CACHE_H_
+#define GDP_ENGINE_PLAN_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "engine/plan.h"
+#include "partition/distributed_graph.h"
+
+namespace gdp::engine {
+
+/// Memoizes ExecutionPlan::Build for one shared DistributedGraph.
+///
+/// plan.cc rebuilds both per-direction CSRs for every run of every
+/// application on the same partition; across a grid of N applications that
+/// is N rebuilds of identical structures. A PlanCache builds each distinct
+/// (gather_dir, scatter_dir, graphx_counts) plan once and hands out const
+/// references; plans are immutable after Build (plan.h), so one cached
+/// plan can back any number of concurrent engine runs.
+///
+/// Thread-safety: Get() may be called concurrently; the first caller for a
+/// key builds the plan, others block until it is ready. Entries are never
+/// evicted, and references stay valid for the cache's lifetime. The graph
+/// must outlive the cache (plans borrow it).
+class PlanCache {
+ public:
+  explicit PlanCache(const partition::DistributedGraph& dg) : dg_(&dg) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// The plan for the given directions, building it on first use.
+  const ExecutionPlan& Get(EdgeDirection gather_dir,
+                           EdgeDirection scatter_dir, bool graphx_counts);
+
+  const partition::DistributedGraph& dg() const { return *dg_; }
+
+  /// Plans built so far (for tests and cache-hit accounting).
+  size_t num_plans() const;
+
+ private:
+  struct Slot {
+    std::once_flag once;
+    ExecutionPlan plan;
+  };
+  using Key = std::tuple<EdgeDirection, EdgeDirection, bool>;
+
+  const partition::DistributedGraph* dg_;
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace gdp::engine
+
+#endif  // GDP_ENGINE_PLAN_CACHE_H_

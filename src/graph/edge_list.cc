@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/hash.h"
+
 namespace gdp::graph {
 
 void EdgeList::AddEdge(VertexId src, VertexId dst) {
@@ -31,6 +33,16 @@ EdgeList EdgeList::Symmetrized() const {
   }
   out.Deduplicate();
   return out;
+}
+
+uint64_t EdgeList::Fingerprint() const {
+  uint64_t h = util::Mix64(0x6fd92e1d2c154b01ULL);
+  h = util::HashCombine(h, num_vertices_);
+  h = util::HashCombine(h, edges_.size());
+  for (const Edge& e : edges_) {
+    h = util::HashCombine(h, util::HashDirectedEdge(e.src, e.dst));
+  }
+  return h;
 }
 
 std::vector<uint64_t> EdgeList::OutDegrees() const {

@@ -38,6 +38,14 @@ class EdgeList {
   /// a directed graph into its undirected (symmetric) version.
   EdgeList Symmetrized() const;
 
+  /// 64-bit content fingerprint over the canonical edge order: a hash chain
+  /// of num_vertices(), num_edges(), and every (src, dst) pair in stream
+  /// order. Two edge lists fingerprint equal iff they present the same
+  /// vertex-id space and the same edge sequence — exactly the inputs a
+  /// partitioner sees — so the fingerprint keys ingress artifact caches
+  /// (harness/partition_cache.h). The name is deliberately excluded.
+  uint64_t Fingerprint() const;
+
   /// Out-degree / in-degree / total-degree arrays of size num_vertices().
   std::vector<uint64_t> OutDegrees() const;
   std::vector<uint64_t> InDegrees() const;

@@ -9,6 +9,7 @@
 #include "apps/triangle_count.h"
 #include "apps/wcc.h"
 #include "engine/async_coloring.h"
+#include "harness/experiment_internal.h"
 #include "partition/validate.h"
 #include "util/check.h"
 
@@ -51,12 +52,24 @@ bool IsNaturalApp(AppKind app) {
   }
 }
 
-namespace {
+namespace internal {
+
+partition::PartitionContext PartitionContextFor(const graph::EdgeList& edges,
+                                                const ExperimentSpec& spec) {
+  partition::PartitionContext context;
+  context.num_partitions = spec.num_machines * spec.partitions_per_machine;
+  context.num_vertices = edges.num_vertices();
+  context.num_loaders =
+      spec.num_loaders == 0 ? spec.num_machines : spec.num_loaders;
+  context.seed = spec.seed;
+  return context;
+}
 
 partition::IngestOptions IngestOptionsFor(const ExperimentSpec& spec,
                                           sim::Timeline* timeline) {
   partition::IngestOptions options;
   options.num_loaders = spec.num_loaders;
+  options.num_threads = spec.engine_threads;
   options.seed = spec.seed ^ 0x51ed2701;
   options.timeline = timeline;
   switch (spec.engine) {
@@ -83,6 +96,7 @@ engine::RunOptions RunOptionsFor(const ExperimentSpec& spec,
                                  sim::Timeline* timeline) {
   engine::RunOptions options;
   options.max_iterations = spec.max_iterations;
+  options.num_threads = spec.engine_threads;
   options.timeline = timeline;
   if (spec.engine == engine::EngineKind::kGraphXPregel) {
     // Dataflow/JVM overhead: GraphX computation is markedly slower per
@@ -92,30 +106,70 @@ engine::RunOptions RunOptionsFor(const ExperimentSpec& spec,
   return options;
 }
 
+void PopulateIngressMetrics(const partition::IngressReport& report,
+                            ExperimentResult* out) {
+  out->ingress = report;
+  out->replication_factor = report.replication_factor;
+  out->edge_balance_ratio = report.edge_balance_ratio;
+}
+
+void FinalizeClusterMetrics(const sim::Cluster& cluster,
+                            ExperimentResult* out) {
+  out->total_seconds = cluster.now_seconds();
+  out->mean_peak_memory_bytes = cluster.MeanPeakMemoryBytes();
+  out->max_peak_memory_bytes = cluster.MaxPeakMemoryBytes();
+  out->cpu_utilizations = cluster.CpuUtilizations();
+}
+
+namespace {
+
+/// Runs one GAS application, on a cached plan when `plans` is provided and
+/// on a freshly built one otherwise. The two paths are bit-identical: a
+/// plan is a pure function of (dg, directions, graphx flag), and the
+/// direction pair is pinned by the App type.
+template <typename App>
+engine::GasRunResult<App> RunGas(const ExperimentSpec& spec,
+                                 const partition::DistributedGraph& dg,
+                                 engine::PlanCache* plans,
+                                 sim::Cluster& cluster, App app,
+                                 const engine::RunOptions& options) {
+  const bool graphx = spec.engine == engine::EngineKind::kGraphXPregel;
+  if (plans != nullptr) {
+    const engine::ExecutionPlan& plan =
+        plans->Get(App::kGatherDir, App::kScatterDir, graphx);
+    return engine::RunGasEngine(spec.engine, plan, cluster, std::move(app),
+                                options);
+  }
+  return engine::RunGasEngine(spec.engine, dg, cluster, std::move(app),
+                              options);
+}
+
+}  // namespace
+
 void RunApp(const ExperimentSpec& spec,
-            const partition::DistributedGraph& dg, sim::Cluster& cluster,
-            const engine::RunOptions& run_options, ExperimentResult* out) {
+            const partition::DistributedGraph& dg, engine::PlanCache* plans,
+            sim::Cluster& cluster, const engine::RunOptions& run_options,
+            ExperimentResult* out) {
+  const bool graphx = spec.engine == engine::EngineKind::kGraphXPregel;
   switch (spec.app) {
     case AppKind::kPageRankFixed: {
-      auto r = engine::RunGasEngine(spec.engine, dg, cluster,
-                                    apps::PageRankFixed(), run_options);
+      auto r = RunGas(spec, dg, plans, cluster, apps::PageRankFixed(),
+                      run_options);
       out->compute = r.stats;
       break;
     }
     case AppKind::kPageRankConvergent: {
       engine::RunOptions opts = run_options;
       opts.max_iterations = std::max(opts.max_iterations, 500u);
-      auto r = engine::RunGasEngine(
-          spec.engine, dg, cluster,
-          apps::PageRankConvergent(spec.pagerank_tolerance), opts);
+      auto r = RunGas(spec, dg, plans, cluster,
+                      apps::PageRankConvergent(spec.pagerank_tolerance), opts);
       out->compute = r.stats;
       break;
     }
     case AppKind::kWcc: {
       engine::RunOptions opts = run_options;
       opts.max_iterations = std::max(opts.max_iterations, 1000u);
-      auto r = engine::RunGasEngine(spec.engine, dg, cluster, apps::WccApp{},
-                                    opts);
+      auto r = RunGas(spec, dg, plans, cluster, apps::WccApp{}, opts);
       out->compute = r.stats;
       break;
     }
@@ -124,7 +178,7 @@ void RunApp(const ExperimentSpec& spec,
       opts.max_iterations = std::max(opts.max_iterations, 2000u);
       apps::SsspApp app;
       app.source = spec.sssp_source;
-      auto r = engine::RunGasEngine(spec.engine, dg, cluster, app, opts);
+      auto r = RunGas(spec, dg, plans, cluster, app, opts);
       out->compute = r.stats;
       break;
     }
@@ -133,24 +187,30 @@ void RunApp(const ExperimentSpec& spec,
       opts.max_iterations = std::max(opts.max_iterations, 2000u);
       apps::DirectedSsspApp app;
       app.source = spec.sssp_source;
-      auto r = engine::RunGasEngine(spec.engine, dg, cluster, app, opts);
+      auto r = RunGas(spec, dg, plans, cluster, app, opts);
       out->compute = r.stats;
       break;
     }
     case AppKind::kKCore: {
       engine::RunOptions opts = run_options;
       opts.max_iterations = std::max(opts.max_iterations, 1000u);
-      apps::KCoreResult r = apps::KCoreDecompose(
-          spec.engine, dg, cluster, spec.kcore_kmin, spec.kcore_kmax, opts);
+      apps::KCoreResult r =
+          plans != nullptr
+              ? apps::KCoreDecompose(
+                    spec.engine,
+                    plans->Get(apps::KCoreApp::kGatherDir,
+                               apps::KCoreApp::kScatterDir, graphx),
+                    cluster, spec.kcore_kmin, spec.kcore_kmax, opts)
+              : apps::KCoreDecompose(spec.engine, dg, cluster,
+                                     spec.kcore_kmin, spec.kcore_kmax, opts);
       out->compute = r.stats;
       break;
     }
     case AppKind::kColoring: {
       engine::RunOptions opts = run_options;
       opts.max_iterations = std::max(opts.max_iterations, 1000u);
-      if (spec.engine == engine::EngineKind::kGraphXPregel) {
-        auto r = engine::RunGasEngine(spec.engine, dg, cluster,
-                                      apps::ColoringApp{}, opts);
+      if (graphx) {
+        auto r = RunGas(spec, dg, plans, cluster, apps::ColoringApp{}, opts);
         out->compute = r.stats;
       } else {
         // PowerGraph/PowerLyra run Simple Coloring on the async engine
@@ -163,15 +223,21 @@ void RunApp(const ExperimentSpec& spec,
     }
     case AppKind::kTriangles: {
       apps::TriangleCountResult r =
-          apps::CountTriangles(spec.engine, dg, cluster, run_options);
+          plans != nullptr
+              ? apps::CountTriangles(
+                    spec.engine,
+                    plans->Get(apps::NeighborListApp::kGatherDir,
+                               apps::NeighborListApp::kScatterDir, graphx),
+                    cluster, run_options)
+              : apps::CountTriangles(spec.engine, dg, cluster, run_options);
       out->compute = r.stats;
       break;
     }
     case AppKind::kLabelPropagation: {
       engine::RunOptions opts = run_options;
       opts.max_iterations = std::min(opts.max_iterations, 50u);  // may cycle
-      auto r = engine::RunGasEngine(spec.engine, dg, cluster,
-                                    apps::LabelPropagationApp{}, opts);
+      auto r = RunGas(spec, dg, plans, cluster, apps::LabelPropagationApp{},
+                      opts);
       out->compute = r.stats;
       break;
     }
@@ -183,71 +249,52 @@ void RunApp(const ExperimentSpec& spec,
         app.sources.push_back(
             (spec.sssp_source + i * 97) % dg.num_vertices);
       }
-      auto r = engine::RunGasEngine(spec.engine, dg, cluster, app, opts);
+      auto r = RunGas(spec, dg, plans, cluster, app, opts);
       out->compute = r.stats;
       break;
     }
   }
 }
 
+}  // namespace internal
+
+namespace {
+
+/// The shared end-to-end cell runner: ingress always, compute unless
+/// `ingress_only`. RunExperiment and RunIngressOnly are thin wrappers.
+ExperimentResult RunCell(const graph::EdgeList& edges,
+                         const ExperimentSpec& spec, bool ingress_only) {
+  GDP_CHECK_GT(spec.num_machines, 0u);
+  sim::Cluster cluster(spec.num_machines, sim::CostModel{});
+  ExperimentResult result;
+  sim::Timeline* timeline = spec.record_timeline ? &result.timeline : nullptr;
+
+  partition::IngestResult ingest = partition::IngestWithStrategy(
+      edges, spec.strategy, internal::PartitionContextFor(edges, spec),
+      cluster, internal::IngestOptionsFor(spec, timeline));
+  GDP_DCHECK_OK(partition::ValidateDistributedGraph(ingest.graph));
+  internal::PopulateIngressMetrics(ingest.report, &result);
+
+  if (!ingress_only) {
+    internal::RunApp(spec, ingest.graph, /*plans=*/nullptr, cluster,
+                     internal::RunOptionsFor(spec, timeline), &result);
+    if (timeline != nullptr) timeline->Mark(cluster, "compute-end");
+  }
+
+  internal::FinalizeClusterMetrics(cluster, &result);
+  return result;
+}
+
 }  // namespace
 
 ExperimentResult RunExperiment(const graph::EdgeList& edges,
                                const ExperimentSpec& spec) {
-  GDP_CHECK_GT(spec.num_machines, 0u);
-  sim::Cluster cluster(spec.num_machines, sim::CostModel{});
-  ExperimentResult result;
-  sim::Timeline* timeline = spec.record_timeline ? &result.timeline : nullptr;
-
-  partition::PartitionContext context;
-  context.num_partitions = spec.num_machines * spec.partitions_per_machine;
-  context.num_vertices = edges.num_vertices();
-  context.num_loaders =
-      spec.num_loaders == 0 ? spec.num_machines : spec.num_loaders;
-  context.seed = spec.seed;
-
-  partition::IngestResult ingest = partition::IngestWithStrategy(
-      edges, spec.strategy, context, cluster, IngestOptionsFor(spec, timeline));
-  GDP_DCHECK_OK(partition::ValidateDistributedGraph(ingest.graph));
-  result.ingress = ingest.report;
-  result.replication_factor = ingest.report.replication_factor;
-  result.edge_balance_ratio = ingest.report.edge_balance_ratio;
-
-  RunApp(spec, ingest.graph, cluster, RunOptionsFor(spec, timeline), &result);
-  if (timeline != nullptr) timeline->Mark(cluster, "compute-end");
-
-  result.total_seconds = cluster.now_seconds();
-  result.mean_peak_memory_bytes = cluster.MeanPeakMemoryBytes();
-  result.max_peak_memory_bytes = cluster.MaxPeakMemoryBytes();
-  result.cpu_utilizations = cluster.CpuUtilizations();
-  return result;
+  return RunCell(edges, spec, /*ingress_only=*/false);
 }
 
 ExperimentResult RunIngressOnly(const graph::EdgeList& edges,
                                 const ExperimentSpec& spec) {
-  GDP_CHECK_GT(spec.num_machines, 0u);
-  sim::Cluster cluster(spec.num_machines, sim::CostModel{});
-  ExperimentResult result;
-  sim::Timeline* timeline = spec.record_timeline ? &result.timeline : nullptr;
-
-  partition::PartitionContext context;
-  context.num_partitions = spec.num_machines * spec.partitions_per_machine;
-  context.num_vertices = edges.num_vertices();
-  context.num_loaders =
-      spec.num_loaders == 0 ? spec.num_machines : spec.num_loaders;
-  context.seed = spec.seed;
-
-  partition::IngestResult ingest = partition::IngestWithStrategy(
-      edges, spec.strategy, context, cluster, IngestOptionsFor(spec, timeline));
-  GDP_DCHECK_OK(partition::ValidateDistributedGraph(ingest.graph));
-  result.ingress = ingest.report;
-  result.replication_factor = ingest.report.replication_factor;
-  result.edge_balance_ratio = ingest.report.edge_balance_ratio;
-  result.total_seconds = cluster.now_seconds();
-  result.mean_peak_memory_bytes = cluster.MeanPeakMemoryBytes();
-  result.max_peak_memory_bytes = cluster.MaxPeakMemoryBytes();
-  result.cpu_utilizations = cluster.CpuUtilizations();
-  return result;
+  return RunCell(edges, spec, /*ingress_only=*/true);
 }
 
 }  // namespace gdp::harness

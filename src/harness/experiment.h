@@ -55,6 +55,11 @@ struct ExperimentSpec {
   uint32_t num_loaders = 0;
   /// Capture a resource timeline (Fig 6.3).
   bool record_timeline = false;
+  /// Host threads driving this cell's engine and ingress internals
+  /// (0 = hardware default). Results are bit-identical at any setting (the
+  /// engine and ingest determinism contracts); the grid runner pins this
+  /// to 1 for cells it already runs concurrently.
+  uint32_t engine_threads = 0;
 };
 
 /// Everything the paper measures for one run (§4.3).
@@ -82,6 +87,10 @@ ExperimentResult RunExperiment(const graph::EdgeList& edges,
 /// compute phase).
 ExperimentResult RunIngressOnly(const graph::EdgeList& edges,
                                 const ExperimentSpec& spec);
+
+// Cached variants that amortize ingress and plan construction across cells
+// live in harness/partition_cache.h; the parallel grid scheduler lives in
+// harness/grid.h.
 
 }  // namespace gdp::harness
 

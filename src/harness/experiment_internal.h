@@ -1,0 +1,55 @@
+#ifndef GDP_HARNESS_EXPERIMENT_INTERNAL_H_
+#define GDP_HARNESS_EXPERIMENT_INTERNAL_H_
+
+// Shared plumbing between the per-cell runners (experiment.cc) and the
+// cached/grid runners (partition_cache.cc, grid.cc): the spec -> options
+// projections and the common report-population blocks that used to be
+// copy-pasted between RunExperiment and RunIngressOnly. Everything here is
+// a pure function of its inputs; keeping one seam guarantees the cached
+// path charges and reports exactly what the fresh path does.
+
+#include "engine/plan_cache.h"
+#include "engine/run_stats.h"
+#include "graph/edge_list.h"
+#include "harness/experiment.h"
+#include "partition/ingest.h"
+#include "partition/partitioner.h"
+#include "sim/cluster.h"
+#include "sim/timeline.h"
+
+namespace gdp::harness::internal {
+
+/// Partitioner configuration for one spec (loader resolution included).
+partition::PartitionContext PartitionContextFor(const graph::EdgeList& edges,
+                                                const ExperimentSpec& spec);
+
+/// Ingest options for one spec: master policy per engine, derived seed,
+/// ingest lanes from spec.engine_threads.
+partition::IngestOptions IngestOptionsFor(const ExperimentSpec& spec,
+                                          sim::Timeline* timeline);
+
+/// Engine options for one spec: iteration cap, GraphX work multiplier,
+/// engine lanes from spec.engine_threads.
+engine::RunOptions RunOptionsFor(const ExperimentSpec& spec,
+                                 sim::Timeline* timeline);
+
+/// Copies the ingress-side metrics of `report` into `out`.
+void PopulateIngressMetrics(const partition::IngressReport& report,
+                            ExperimentResult* out);
+
+/// Fills the end-of-run cluster metrics (total time, memory peaks, CPU
+/// utilizations) from the cluster's final state.
+void FinalizeClusterMetrics(const sim::Cluster& cluster,
+                            ExperimentResult* out);
+
+/// Dispatches the spec's application onto the engines and stores its
+/// RunStats in out->compute. When `plans` is non-null the GAS apps run on
+/// cached ExecutionPlans (keyed by direction pair + GraphX flag) instead of
+/// rebuilding one per run; results are bit-identical either way.
+void RunApp(const ExperimentSpec& spec, const partition::DistributedGraph& dg,
+            engine::PlanCache* plans, sim::Cluster& cluster,
+            const engine::RunOptions& run_options, ExperimentResult* out);
+
+}  // namespace gdp::harness::internal
+
+#endif  // GDP_HARNESS_EXPERIMENT_INTERNAL_H_

@@ -1,0 +1,46 @@
+#include "harness/grid.h"
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace gdp::harness {
+
+std::vector<ExperimentResult> RunGrid(const std::vector<GridCell>& cells,
+                                      const GridOptions& options) {
+  std::vector<ExperimentResult> results(cells.size());
+  const uint32_t num_threads =
+      options.num_threads != 0 ? options.num_threads
+                               : util::ThreadPool::DefaultThreadCount();
+  util::ThreadPool pool(num_threads);
+  const bool pin_cell_lanes = pool.num_threads() > 1;
+  pool.ParallelFor(cells.size(), [&](uint64_t i, uint32_t) {
+    const GridCell& cell = cells[i];
+    GDP_CHECK(cell.edges != nullptr);
+    ExperimentSpec spec = cell.spec;
+    if (pin_cell_lanes && spec.engine_threads == 0) spec.engine_threads = 1;
+    if (options.cache != nullptr) {
+      results[i] = cell.ingress_only
+                       ? RunIngressOnlyCached(*cell.edges, spec,
+                                              *options.cache)
+                       : RunExperimentCached(*cell.edges, spec,
+                                             *options.cache);
+    } else {
+      results[i] = cell.ingress_only ? RunIngressOnly(*cell.edges, spec)
+                                     : RunExperiment(*cell.edges, spec);
+    }
+  });
+  return results;
+}
+
+std::vector<ExperimentResult> RunGrid(const graph::EdgeList& edges,
+                                      const std::vector<ExperimentSpec>& specs,
+                                      const GridOptions& options) {
+  std::vector<GridCell> cells;
+  cells.reserve(specs.size());
+  for (const ExperimentSpec& spec : specs) {
+    cells.push_back(GridCell{&edges, spec, /*ingress_only=*/false});
+  }
+  return RunGrid(cells, options);
+}
+
+}  // namespace gdp::harness

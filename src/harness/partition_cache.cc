@@ -1,0 +1,103 @@
+#include "harness/partition_cache.h"
+
+#include "harness/experiment_internal.h"
+#include "partition/validate.h"
+#include "util/check.h"
+
+namespace gdp::harness {
+
+IngressKey PartitionCache::KeyFor(const graph::EdgeList& edges,
+                                  const ExperimentSpec& spec) {
+  const partition::IngestOptions options =
+      internal::IngestOptionsFor(spec, /*timeline=*/nullptr);
+  IngressKey key;
+  key.edge_fingerprint = edges.Fingerprint();
+  key.strategy = spec.strategy;
+  key.num_partitions = spec.num_machines * spec.partitions_per_machine;
+  key.num_machines = spec.num_machines;
+  key.num_loaders =
+      spec.num_loaders == 0 ? spec.num_machines : spec.num_loaders;
+  key.seed = spec.seed;
+  key.master_policy = options.master_policy;
+  key.use_partitioner_master_preference =
+      options.use_partitioner_master_preference;
+  return key;
+}
+
+const PartitionCache::Entry& PartitionCache::Get(const graph::EdgeList& edges,
+                                                 const ExperimentSpec& spec) {
+  GDP_CHECK_GT(spec.num_machines, 0u);
+  const IngressKey key = KeyFor(edges, spec);
+  Slot* slot = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Slot>& entry = slots_[key];
+    if (entry == nullptr) entry = std::make_unique<Slot>();
+    slot = entry.get();
+  }
+  // The ingress runs outside the map lock (distinct keys build
+  // concurrently); call_once serializes racers on the same key.
+  bool built = false;
+  std::call_once(slot->once, [&] {
+    sim::Cluster cluster(spec.num_machines, sim::CostModel{});
+    slot->entry.ingest = partition::IngestWithStrategy(
+        edges, spec.strategy, internal::PartitionContextFor(edges, spec),
+        cluster, internal::IngestOptionsFor(spec, /*timeline=*/nullptr));
+    GDP_DCHECK_OK(
+        partition::ValidateDistributedGraph(slot->entry.ingest.graph));
+    slot->entry.post_ingress = cluster.Snapshot();
+    slot->entry.plans =
+        std::make_unique<engine::PlanCache>(slot->entry.ingest.graph);
+    built = true;
+  });
+  if (built) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return slot->entry;
+}
+
+size_t PartitionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+namespace {
+
+ExperimentResult RunCellCached(const graph::EdgeList& edges,
+                               const ExperimentSpec& spec,
+                               PartitionCache& cache, bool ingress_only) {
+  const PartitionCache::Entry& entry = cache.Get(edges, spec);
+  sim::Cluster cluster(spec.num_machines, sim::CostModel{});
+  cluster.Restore(entry.post_ingress);
+
+  ExperimentResult result;
+  internal::PopulateIngressMetrics(entry.ingest.report, &result);
+  if (!ingress_only) {
+    internal::RunApp(spec, entry.ingest.graph, entry.plans.get(), cluster,
+                     internal::RunOptionsFor(spec, /*timeline=*/nullptr),
+                     &result);
+  }
+  internal::FinalizeClusterMetrics(cluster, &result);
+  return result;
+}
+
+}  // namespace
+
+ExperimentResult RunExperimentCached(const graph::EdgeList& edges,
+                                     const ExperimentSpec& spec,
+                                     PartitionCache& cache) {
+  // A recorded timeline must watch the ingress happen; run it fresh.
+  if (spec.record_timeline) return RunExperiment(edges, spec);
+  return RunCellCached(edges, spec, cache, /*ingress_only=*/false);
+}
+
+ExperimentResult RunIngressOnlyCached(const graph::EdgeList& edges,
+                                      const ExperimentSpec& spec,
+                                      PartitionCache& cache) {
+  if (spec.record_timeline) return RunIngressOnly(edges, spec);
+  return RunCellCached(edges, spec, cache, /*ingress_only=*/true);
+}
+
+}  // namespace gdp::harness

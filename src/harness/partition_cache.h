@@ -1,0 +1,110 @@
+#ifndef GDP_HARNESS_PARTITION_CACHE_H_
+#define GDP_HARNESS_PARTITION_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "engine/plan_cache.h"
+#include "graph/edge_list.h"
+#include "harness/experiment.h"
+#include "partition/ingest.h"
+#include "sim/cluster.h"
+
+namespace gdp::harness {
+
+/// Everything the ingress phase of one experiment cell depends on. Two
+/// specs with equal keys produce bit-identical IngestResults and
+/// post-ingress cluster states (the ingest determinism contract), so their
+/// cells can share one cached ingress artifact. Note what is *not* in the
+/// key: the application, iteration caps, engine_threads (results are
+/// thread-count-invariant), and the engine kind itself — only its
+/// master-policy projection, so PowerGraph and a hypothetical engine with
+/// the same policy would share entries.
+struct IngressKey {
+  uint64_t edge_fingerprint = 0;
+  partition::StrategyKind strategy = partition::StrategyKind::kRandom;
+  uint32_t num_partitions = 0;
+  uint32_t num_machines = 0;
+  uint32_t num_loaders = 0;  ///< resolved (0 -> num_machines)
+  uint64_t seed = 0;
+  partition::MasterPolicy master_policy =
+      partition::MasterPolicy::kRandomReplica;
+  bool use_partitioner_master_preference = false;
+
+  friend auto operator<=>(const IngressKey&, const IngressKey&) = default;
+};
+
+/// A content-keyed cache of ingress artifacts: the IngestResult (partitioned
+/// graph + ingress report), the exact post-ingress sim::Cluster state
+/// (sim::ClusterSnapshot), and a PlanCache of ExecutionPlans over the shared
+/// graph. N application cells over one (graph, strategy, cluster)
+/// configuration pay for ingress once and for each distinct plan shape
+/// once — the PowerGraph trick of amortizing one ingress across many jobs,
+/// applied to the experiment grid.
+///
+/// Thread-safety: Get() may be called concurrently from grid workers; the
+/// first caller for a key runs the ingress, racers block until it is ready.
+/// Entries are never evicted and entry references stay valid for the
+/// cache's lifetime. PartitionContext knobs that ExperimentSpec cannot
+/// express (hybrid_threshold, hdrf_lambda, ...) are always at their
+/// defaults in keyed runs, so they need no key fields.
+class PartitionCache {
+ public:
+  struct Entry {
+    partition::IngestResult ingest;
+    sim::ClusterSnapshot post_ingress;
+    /// Plans over ingest.graph; unique_ptr so Entry stays movable while
+    /// the (mutex-holding) PlanCache stays put.
+    std::unique_ptr<engine::PlanCache> plans;
+  };
+
+  PartitionCache() = default;
+  PartitionCache(const PartitionCache&) = delete;
+  PartitionCache& operator=(const PartitionCache&) = delete;
+
+  /// The ingress key of (edges, spec): the edge-list fingerprint plus the
+  /// spec's ingress-affecting projection.
+  static IngressKey KeyFor(const graph::EdgeList& edges,
+                           const ExperimentSpec& spec);
+
+  /// The cached ingress artifact for (edges, spec), running the ingress on
+  /// first use. The caller must not outlive the cache with the reference.
+  const Entry& Get(const graph::EdgeList& edges, const ExperimentSpec& spec);
+
+  /// Cells served from an existing entry / cells that ran the ingress.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t size() const;
+
+ private:
+  struct Slot {
+    std::once_flag once;
+    Entry entry;
+  };
+
+  mutable std::mutex mu_;
+  std::map<IngressKey, std::unique_ptr<Slot>> slots_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+/// RunExperiment through `cache`: ingress (and plan construction) are
+/// served from the cache when an equal-keyed cell already ran; the compute
+/// phase starts from the restored post-ingress cluster state. Results are
+/// field-identical to RunExperiment on a fresh cluster. Specs recording a
+/// timeline bypass the cache (the timeline samples ingress as it runs).
+ExperimentResult RunExperimentCached(const graph::EdgeList& edges,
+                                     const ExperimentSpec& spec,
+                                     PartitionCache& cache);
+
+/// RunIngressOnly through `cache`; same contract as RunExperimentCached.
+ExperimentResult RunIngressOnlyCached(const graph::EdgeList& edges,
+                                      const ExperimentSpec& spec,
+                                      PartitionCache& cache);
+
+}  // namespace gdp::harness
+
+#endif  // GDP_HARNESS_PARTITION_CACHE_H_

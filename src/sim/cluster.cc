@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace gdp::sim {
 
 Cluster::Cluster(uint32_t num_machines, CostModel cost_model)
@@ -70,6 +72,16 @@ double Cluster::MeanPeakMemoryBytes() const {
     total += static_cast<double>(m.peak_memory_bytes());
   }
   return total / static_cast<double>(machines_.size());
+}
+
+ClusterSnapshot Cluster::Snapshot() const {
+  return ClusterSnapshot{machines_, now_seconds_};
+}
+
+void Cluster::Restore(const ClusterSnapshot& snapshot) {
+  GDP_DCHECK_EQ(machines_.size(), snapshot.machines.size());
+  machines_ = snapshot.machines;
+  now_seconds_ = snapshot.now_seconds;
 }
 
 std::vector<double> Cluster::CpuUtilizations() const {

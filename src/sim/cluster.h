@@ -63,6 +63,19 @@ class Machine {
   uint64_t phase_bytes_ = 0;
 };
 
+/// A verbatim copy of a Cluster's mutable state (per-machine counters plus
+/// the simulated clock), taken with Cluster::Snapshot() and reinstated with
+/// Cluster::Restore(). Machine is a plain value type of integer counters
+/// and double accumulators, so a snapshot/restore round trip is exact: a
+/// compute phase started from a restored post-ingress snapshot charges the
+/// cluster bit-identically to one continuing on the original cluster. The
+/// harness partition cache (harness/partition_cache.h) relies on this to
+/// replay one ingress under many compute phases.
+struct ClusterSnapshot {
+  std::vector<Machine> machines;
+  double now_seconds = 0;
+};
+
 /// A set of simulated machines plus a simulated clock. Bulk-synchronous
 /// phases are modeled with EndPhase(): each machine's phase time is its
 /// compute time plus its transfer time; the cluster clock advances by the
@@ -103,6 +116,13 @@ class Cluster {
 
   /// Per-machine CPU utilization in [0, 1]: busy seconds / elapsed seconds.
   std::vector<double> CpuUtilizations() const;
+
+  /// Captures the full mutable state (all machine counters + clock).
+  ClusterSnapshot Snapshot() const;
+
+  /// Reinstates a snapshot taken from a cluster with the same machine
+  /// count; every counter and the clock match the snapshot exactly.
+  void Restore(const ClusterSnapshot& snapshot);
 
  private:
   std::vector<Machine> machines_;

@@ -63,22 +63,25 @@ std::string Table::ToMarkdown() const {
   return out.str();
 }
 
+std::string Table::CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
 std::string Table::ToCsv() const {
   std::ostringstream out;
   auto emit = [&](const std::vector<std::string>& row) {
     for (size_t c = 0; c < row.size(); ++c) {
       if (c) out << ',';
-      bool quote = row[c].find_first_of(",\"\n") != std::string::npos;
-      if (!quote) {
-        out << row[c];
-      } else {
-        out << '"';
-        for (char ch : row[c]) {
-          if (ch == '"') out << '"';
-          out << ch;
-        }
-        out << '"';
-      }
+      out << CsvEscape(row[c]);
     }
     out << '\n';
   };

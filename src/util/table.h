@@ -19,6 +19,14 @@ class Table {
   /// Convenience: formats doubles with the given precision.
   static std::string Num(double value, int precision = 2);
 
+  /// Escapes one field for CSV output (RFC 4180): fields containing a
+  /// comma, double quote, or newline are wrapped in double quotes with
+  /// embedded quotes doubled; anything else passes through unchanged.
+  /// ToCsv() runs every cell through this, so free-text cells (claim
+  /// rationales, strategy notes) survive a round trip through a CSV
+  /// reader.
+  static std::string CsvEscape(const std::string& field);
+
   std::string ToAscii() const;
   std::string ToMarkdown() const;
   std::string ToCsv() const;

@@ -323,6 +323,27 @@ TEST(TableTest, CsvEscapesQuotesAndCommas) {
   EXPECT_NE(t.ToCsv().find("\"va\"\"l,ue\""), std::string::npos);
 }
 
+TEST(TableTest, CsvEscapeFollowsRfc4180) {
+  // Plain fields pass through unquoted.
+  EXPECT_EQ(Table::CsvEscape("plain"), "plain");
+  EXPECT_EQ(Table::CsvEscape(""), "");
+  EXPECT_EQ(Table::CsvEscape("3.14"), "3.14");
+  // Commas, quotes, and line breaks force quoting; embedded quotes double.
+  EXPECT_EQ(Table::CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(Table::CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(Table::CsvEscape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(Table::CsvEscape("cr\rlf"), "\"cr\rlf\"");
+  EXPECT_EQ(Table::CsvEscape("\""), "\"\"\"\"");
+}
+
+TEST(TableTest, CsvHeaderAndEveryRowEscaped) {
+  Table t({"name,with,commas", "plain"});
+  t.AddRow({"a", "b\"c"});
+  t.AddRow({"d", "e"});
+  EXPECT_EQ(t.ToCsv(),
+            "\"name,with,commas\",plain\na,\"b\"\"c\"\nd,e\n");
+}
+
 TEST(TableTest, MarkdownHasSeparatorRow) {
   Table t({"h1", "h2"});
   t.AddRow({"a", "b"});

@@ -74,14 +74,16 @@ run_leg "asan+ubsan" "$ROOT/build-asan" "" \
 
 # Leg 3: TSan over the concurrency surface — the parallel GAS engine, the
 # parallel ingress pipeline (Ingest* matches the ingest determinism +
-# conservation suites), their frontier/thread-pool/accumulator utilities,
-# and the sim layer they charge. RelWithDebInfo: TSan+Debug is too slow for
-# the determinism matrix, and the race coverage is identical. The -R filter
-# selects the discovered gtest suites that exercise threads; claims_
-# benches are timing-based and excluded (none of them match).
+# conservation suites), the parallel grid runner and its partition/plan
+# caches (GridRunner/PartitionCache/PlanCache), their
+# frontier/thread-pool/accumulator utilities, and the sim layer they
+# charge. RelWithDebInfo: TSan+Debug is too slow for the determinism
+# matrix, and the race coverage is identical. The -R filter selects the
+# discovered gtest suites that exercise threads; claims_ benches are
+# timing-based and excluded (none of them match).
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 run_leg "tsan" "$ROOT/build-tsan" \
-  '(EngineDeterminism|EngineCorrectness|EngineAccounting|EngineEdge|ExecutionPlan|KCoreDeterminism|ThreadPool|DenseBitset|PhaseAccumulator|Machine|Cluster|Async|Ingest)' \
+  '(EngineDeterminism|EngineCorrectness|EngineAccounting|EngineEdge|ExecutionPlan|KCoreDeterminism|ThreadPool|DenseBitset|PhaseAccumulator|Machine|Cluster|Async|Ingest|GridRunner|PartitionCache|PlanCache)' \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGDP_SANITIZE=thread
 
