@@ -100,7 +100,7 @@ int main() {
         ingest.graph, apps::PageRankApp::kGatherDir,
         apps::PageRankApp::kScatterDir, /*graphx_counts=*/false);
     engine::RunOptions options = pr_options;
-    options.num_threads = threads;
+    options.exec.num_threads = threads;
     auto start = std::chrono::steady_clock::now();
     auto got = engine::RunGasEngine(engine::EngineKind::kPowerGraphSync,
                                     plan, cluster, pr_app, options);
@@ -139,7 +139,7 @@ int main() {
   sim::Cluster sssp_cluster(kMachines, sim::CostModel{});
   partition::IngestResult sssp_ingest = Partition(road, sssp_cluster);
   engine::RunOptions sssp_serial = sssp_options;
-  sssp_serial.num_threads = 1;
+  sssp_serial.exec.num_threads = 1;
   auto sssp_start = std::chrono::steady_clock::now();
   auto sssp_got =
       engine::RunGasEngine(engine::EngineKind::kPowerGraphSync,

@@ -133,7 +133,7 @@ int main() {
     for (uint32_t threads : {1u, 8u}) {
       harness::PartitionCache cache;
       harness::GridOptions options;
-      options.num_threads = threads;
+      options.exec.num_threads = threads;
       if (cached) options.cache = &cache;
       start = std::chrono::steady_clock::now();
       std::vector<harness::ExperimentResult> got =

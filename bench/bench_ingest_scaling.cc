@@ -68,7 +68,7 @@ RunSnapshot RunOnce(const graph::EdgeList& edges, partition::StrategyKind kind,
   sim::Cluster cluster(kMachines, sim::CostModel{});
   partition::IngestOptions options;
   options.num_loaders = kLoaders;
-  options.num_threads = num_threads;
+  options.exec.num_threads = num_threads;
   RunSnapshot snap;
   auto start = std::chrono::steady_clock::now();
   snap.result = reference

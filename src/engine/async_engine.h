@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/engine_obs.h"
 #include "engine/gas_app.h"
 #include "engine/gas_engine.h"
 #include "engine/run_stats.h"
@@ -45,6 +46,13 @@ GasRunResult<App> RunAsyncGasEngine(const partition::DistributedGraph& dg,
   const graph::VertexId n = dg.num_vertices;
   const sim::ObjectSizes sizes;
   const double work_mul = options.work_multiplier;
+
+  // Observability sinks; the observer owns the old per-round timeline
+  // sample. One span per async round (the engine has no minor-step
+  // barriers, so gather/apply/scatter totals are per-round sums).
+  const obs::ExecContext exec = options.Exec();
+  SuperstepObserver observer(exec, cluster, "AsyncGAS");
+  const bool observed = observer.enabled();
 
   // Degrees: use the graph's ingest-time cache when present, otherwise
   // compute a local fallback (hand-assembled graphs).
@@ -145,6 +153,9 @@ GasRunResult<App> RunAsyncGasEngine(const partition::DistributedGraph& dg,
       stats.converged = true;
       break;
     }
+    observer.BeginSuperstep(round);
+    SuperstepBreakdown breakdown;
+    breakdown.frontier = active_count;
 
     for (graph::VertexId v = 0; v < n; ++v) {
       if (!active[v]) continue;
@@ -158,6 +169,7 @@ GasRunResult<App> RunAsyncGasEngine(const partition::DistributedGraph& dg,
         has_gather = true;
         cluster.machine(home).AddWork(work_mul);
         if (remote) cluster.machine(home).AddWork(0.25 * work_mul);
+        if (observed) breakdown.gather_units += remote ? 5 : 4;
       };
       if (IncludesIn(App::kGatherDir)) {
         for (uint64_t i = in_offsets[v]; i < in_offsets[v + 1]; ++i) {
@@ -170,8 +182,10 @@ GasRunResult<App> RunAsyncGasEngine(const partition::DistributedGraph& dg,
         }
       }
       cluster.machine(home).AddWork(work_mul);  // apply
+      if (observed) breakdown.apply_units += 4;
       bool signal = app.Apply(v, acc, has_gather, ctx, &state[v]);
       if (!signal) continue;
+      if (observed) ++breakdown.signaled;
 
       // Push the fresh value to the vertex's mirror machines.
       uint64_t mask = masks.replicas[v] & ~(1ULL << home);
@@ -181,6 +195,7 @@ GasRunResult<App> RunAsyncGasEngine(const partition::DistributedGraph& dg,
         mask &= mask - 1;
         cluster.machine(home).ChargePhaseBytes(sizes.sync_message);
         cluster.machine(m).ReceiveBytes(sizes.sync_message);
+        if (observed) breakdown.apply_bytes += sizes.sync_message;
       }
       // Wake the scatter neighborhood. Chaotic relaxation: a SAME-MACHINE
       // neighbor the sweep has not reached yet (higher id) is processed in
@@ -195,6 +210,7 @@ GasRunResult<App> RunAsyncGasEngine(const partition::DistributedGraph& dg,
           next_active[w] = true;
         }
         cluster.machine(home).AddWork(work_mul);
+        if (observed) breakdown.scatter_units += 4;
       };
       if (IncludesOut(App::kScatterDir)) {
         for (uint64_t i = out_offsets[v]; i < out_offsets[v + 1]; ++i) {
@@ -211,11 +227,12 @@ GasRunResult<App> RunAsyncGasEngine(const partition::DistributedGraph& dg,
     committed = state;
     cluster.EndPhaseAsync();
     stats.cumulative_seconds.push_back(cluster.now_seconds() - start);
-    if (options.timeline != nullptr) options.timeline->Sample(cluster);
+    observer.EndSuperstep(breakdown);
     std::fill(active.begin(), active.end(), false);
     active.swap(next_active);
   }
 
+  observer.Finish();
   stats.iterations = round;
   stats.compute_seconds = cluster.now_seconds() - start;
   stats.network_bytes = cluster.TotalBytesSent() - bytes_start;

@@ -4,9 +4,11 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <tuple>
 #include <utility>
 #include <vector>
 
+#include "engine/engine_obs.h"
 #include "engine/gas_app.h"
 #include "engine/plan.h"
 #include "engine/run_stats.h"
@@ -137,20 +139,35 @@ GasRunResult<App> RunGasEngine(EngineKind kind, const ExecutionPlan& plan,
       kind != EngineKind::kGraphXPregel &&
       sim::PhaseAccumulator::ClosedFormExact(unit_value, max_units);
 
-  const uint32_t num_threads = options.num_threads != 0
-                                   ? options.num_threads
+  // Resolved execution context: thread count + observability sinks. The
+  // observer owns the per-superstep timeline sample and span; when no sink
+  // is attached (`!observed`) every instrumentation site below is skipped.
+  const obs::ExecContext exec = options.Exec();
+  SuperstepObserver observer(exec, cluster, EngineKindName(kind));
+  const bool observed = observer.enabled();
+
+  const uint32_t num_threads = exec.num_threads != 0
+                                   ? exec.num_threads
                                    : util::ThreadPool::DefaultThreadCount();
   util::ThreadPool pool(num_threads);
   std::vector<sim::PhaseAccumulator> accs(pool.num_threads());
   for (sim::PhaseAccumulator& acc : accs) acc.Reset(dg.num_machines);
-  auto flush_accs = [&] {
+  // Flushes the lanes' counts to the cluster; returns this minor-step's
+  // {quarter-units, sent bytes} totals when observed (integer sums over
+  // machines — identical at every lane count).
+  auto flush_accs = [&]() -> std::pair<uint64_t, uint64_t> {
     for (size_t i = 1; i < accs.size(); ++i) accs[0].Merge(accs[i]);
+    std::pair<uint64_t, uint64_t> totals{0, 0};
+    if (observed) {
+      totals = {accs[0].TotalWorkUnits(), accs[0].TotalSentBytes()};
+    }
     if (fast_accounting) {
       accs[0].FlushTo(cluster, unit_value);
     } else {
       accs[0].FlushToReplay(cluster, unit_value);
     }
     for (sim::PhaseAccumulator& acc : accs) acc.Reset(dg.num_machines);
+    return totals;
   };
 
   // --- Frontier iteration --------------------------------------------------
@@ -249,35 +266,47 @@ GasRunResult<App> RunGasEngine(EngineKind kind, const ExecutionPlan& plan,
   // Exact-accounting scatter: the serial engine's full edge scan, verbatim,
   // so per-machine charge sequences (including the single combined
   // 2x-work-multiplier charge when both endpoints scatter) replay exactly.
+  // Returns the scatter compute total in quarter-units (for the span args).
   auto scatter_serial = [&](const util::DenseBitset& from,
-                            util::DenseBitset& into) {
+                            util::DenseBitset& into) -> uint64_t {
+    uint64_t units = 0;
     for (uint64_t i = 0; i < num_edges; ++i) {
       const graph::Edge& e = dg.edges[i];
       bool src_scatters = IncludesOut(App::kScatterDir) && from.Test(e.src);
       bool dst_scatters = IncludesIn(App::kScatterDir) && from.Test(e.dst);
       if (!src_scatters && !dst_scatters) continue;
-      cluster.machine(plan.edge_machine[i])
-          .AddWork(work_mul *
-                   ((src_scatters ? 1 : 0) + (dst_scatters ? 1 : 0)));
+      const int events = (src_scatters ? 1 : 0) + (dst_scatters ? 1 : 0);
+      cluster.machine(plan.edge_machine[i]).AddWork(work_mul * events);
+      units += 4ULL * static_cast<uint64_t>(events);
       if (src_scatters) into.Set(e.dst);
       if (dst_scatters) into.Set(e.src);
     }
+    return units;
   };
 
   // Optional bootstrap: initially active vertices announce themselves;
   // with no apply/sync step yet, these activations do cross the wire.
   if (App::kBootstrapScatter) {
+    obs::ScopedSpan bootstrap_span(exec.trace, exec.trace_track, "bootstrap",
+                                   "engine", cluster.now_seconds());
     const uint64_t init_count = active.CountSet();
+    uint64_t serial_units = 0;
     if (fast_accounting) {
       scatter_frontier(active, init_count, next_active);
     } else {
-      scatter_serial(active, next_active);
+      serial_units = scatter_serial(active, next_active);
     }
     for_each_frontier(active, init_count, charge_activation);
-    flush_accs();
+    const auto [flushed_units, flushed_bytes] = flush_accs();
     cluster.EndPhase();
     std::swap(active, next_active);
     next_active.ClearAll();
+    bootstrap_span.Arg("frontier", static_cast<int64_t>(init_count));
+    bootstrap_span.Arg("scatter_units",
+                       static_cast<int64_t>(serial_units + flushed_units));
+    bootstrap_span.Arg("scatter_bytes",
+                       static_cast<int64_t>(flushed_bytes));
+    bootstrap_span.End(cluster.now_seconds());
   }
 
   std::vector<Gather> acc(n, app.GatherInit());
@@ -292,6 +321,9 @@ GasRunResult<App> RunGasEngine(EngineKind kind, const ExecutionPlan& plan,
       stats.converged = true;
       break;
     }
+    observer.BeginSuperstep(iteration);
+    SuperstepBreakdown breakdown;
+    breakdown.frontier = active_count;
 
     // ---- Gather minor-step ------------------------------------------------
     // Each active center folds its gather-direction neighbors through the
@@ -312,7 +344,7 @@ GasRunResult<App> RunGasEngine(EngineKind kind, const ExecutionPlan& plan,
                         acc[v] = std::move(folded);
                         has_gather[v] = begin != end;
                       });
-    flush_accs();
+    std::tie(breakdown.gather_units, breakdown.gather_bytes) = flush_accs();
 
     // ---- Apply minor-step + message accounting ----------------------------
     signaled.ClearAll();
@@ -369,7 +401,7 @@ GasRunResult<App> RunGasEngine(EngineKind kind, const ExecutionPlan& plan,
               }
             }
           });
-      flush_accs();
+      std::tie(breakdown.apply_units, breakdown.apply_bytes) = flush_accs();
     } else {
       // Parallel computation (per-vertex state updates are independent and
       // order-free), then a serial replay of the serial engine's apply
@@ -387,6 +419,7 @@ GasRunResult<App> RunGasEngine(EngineKind kind, const ExecutionPlan& plan,
         const sim::MachineId master = masks.master_machine[v];
         cluster.machine(master).AddWork(work_mul);
         const bool signal = signaled.Test(v);
+        if (observed) breakdown.apply_units += 4;
 
         const uint64_t master_bit = 1ULL << master;
         const bool low_degree = (in_degree[v] + out_degree[v]) <=
@@ -400,6 +433,11 @@ GasRunResult<App> RunGasEngine(EngineKind kind, const ExecutionPlan& plan,
               (signal ? static_cast<double>(plan.scatter_partition_count[v])
                       : 0);
           cluster.machine(master).AddWork(0.8 * work_mul * blocks);
+          if (observed) {
+            breakdown.graphx_blocks +=
+                plan.gather_partition_count[v] +
+                (signal ? plan.scatter_partition_count[v] : 0);
+          }
         }
 
         uint64_t gm =
@@ -416,6 +454,11 @@ GasRunResult<App> RunGasEngine(EngineKind kind, const ExecutionPlan& plan,
           cluster.machine(src).ChargePhaseBytes(sizes.gather_message);
           cluster.machine(master).ReceiveBytes(sizes.gather_message);
           cluster.machine(src).AddWork(0.25 * work_mul);  // serialize
+          if (observed) {
+            breakdown.apply_units += 1;
+            breakdown.apply_bytes +=
+                sizes.control_message + sizes.gather_message;
+          }
         }
 
         if (signal) {
@@ -443,6 +486,10 @@ GasRunResult<App> RunGasEngine(EngineKind kind, const ExecutionPlan& plan,
             cluster.machine(master).ChargePhaseBytes(sizes.sync_message);
             cluster.machine(dst).ReceiveBytes(sizes.sync_message);
             cluster.machine(master).AddWork(0.25 * work_mul);
+            if (observed) {
+              breakdown.apply_units += 1;
+              breakdown.apply_bytes += sizes.sync_message;
+            }
           }
         }
       }
@@ -454,9 +501,10 @@ GasRunResult<App> RunGasEngine(EngineKind kind, const ExecutionPlan& plan,
     if (signaled_count > 0) {
       if (fast_accounting) {
         scatter_frontier(signaled, signaled_count, next_active);
-        flush_accs();
+        std::tie(breakdown.scatter_units, breakdown.scatter_bytes) =
+            flush_accs();
       } else {
-        scatter_serial(signaled, next_active);
+        breakdown.scatter_units = scatter_serial(signaled, next_active);
       }
     }
 
@@ -465,10 +513,12 @@ GasRunResult<App> RunGasEngine(EngineKind kind, const ExecutionPlan& plan,
     cluster.AdvanceSeconds(2 * cluster.cost_model().barrier_latency_seconds);
     stats.cumulative_seconds.push_back(cluster.now_seconds() -
                                        compute_start);
-    if (options.timeline != nullptr) options.timeline->Sample(cluster);
+    breakdown.signaled = signaled_count;
+    observer.EndSuperstep(breakdown);
     std::swap(active, next_active);
   }
 
+  observer.Finish();
   stats.iterations = iteration;
   if (!stats.converged && iteration == options.max_iterations) {
     // Ran to the iteration cap; report whether anything is still active.

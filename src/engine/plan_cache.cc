@@ -10,7 +10,12 @@ const ExecutionPlan& PlanCache::Get(EdgeDirection gather_dir,
     std::lock_guard<std::mutex> lock(mu_);
     std::unique_ptr<Slot>& entry =
         slots_[Key{gather_dir, scatter_dir, graphx_counts}];
-    if (entry == nullptr) entry = std::make_unique<Slot>();
+    if (entry == nullptr) {
+      entry = std::make_unique<Slot>();
+      misses_->Increment();
+    } else {
+      hits_->Increment();
+    }
     slot = entry.get();
   }
   // Build outside the map lock so unrelated keys construct concurrently;
@@ -25,6 +30,10 @@ const ExecutionPlan& PlanCache::Get(EdgeDirection gather_dir,
 size_t PlanCache::num_plans() const {
   std::lock_guard<std::mutex> lock(mu_);
   return slots_.size();
+}
+
+obs::CacheStats PlanCache::stats() const {
+  return obs::CacheStats{hits_->Value(), misses_->Value(), 0};
 }
 
 }  // namespace gdp::engine

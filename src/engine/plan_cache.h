@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "engine/plan.h"
+#include "obs/metrics.h"
 #include "partition/distributed_graph.h"
 
 namespace gdp::engine {
@@ -40,6 +41,11 @@ class PlanCache {
   /// Plans built so far (for tests and cache-hit accounting).
   size_t num_plans() const;
 
+  /// Lookup accounting: hits (plan already built) vs misses (this call
+  /// created the slot and built the plan). Backed by the cache's own
+  /// metrics registry; bypasses is always 0 for plan lookups.
+  obs::CacheStats stats() const;
+
  private:
   struct Slot {
     std::once_flag once;
@@ -50,6 +56,10 @@ class PlanCache {
   const partition::DistributedGraph* dg_;
   mutable std::mutex mu_;
   std::map<Key, std::unique_ptr<Slot>> slots_;
+  // Registry-backed lookup counters (see stats()).
+  obs::MetricsRegistry registry_;
+  obs::Counter* hits_ = registry_.GetCounter("plan_cache.hits");
+  obs::Counter* misses_ = registry_.GetCounter("plan_cache.misses");
 };
 
 }  // namespace gdp::engine

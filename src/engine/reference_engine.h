@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/engine_obs.h"
 #include "engine/gas_app.h"
 #include "engine/gas_engine.h"
 #include "engine/plan.h"
@@ -38,6 +39,12 @@ GasRunResult<App> RunGasEngineReference(EngineKind kind,
   const graph::VertexId n = dg.num_vertices;
   const sim::ObjectSizes sizes;
   const double work_mul = options.work_multiplier;
+
+  // Observability only *reads* simulated state — the oracle's charges are
+  // untouched. The observer also owns the old per-superstep timeline block.
+  const obs::ExecContext exec = options.Exec();
+  SuperstepObserver observer(exec, cluster, EngineKindName(kind));
+  const bool observed = observer.enabled();
 
   // Degrees for the application context.
   std::vector<uint64_t> out_degree(n, 0);
@@ -102,7 +109,9 @@ GasRunResult<App> RunGasEngineReference(EngineKind kind,
   };
 
   // Activation (scatter control) messages: signaled center v notifies the
-  // machines holding its scatter-direction edges.
+  // machines holding its scatter-direction edges. `activation_bytes` only
+  // feeds the bootstrap span args.
+  uint64_t activation_bytes = 0;
   auto charge_activation = [&](graph::VertexId v) {
     uint64_t mask = internal::DirectionMask(masks, App::kScatterDir, v);
     sim::MachineId master = masks.master_machine[v];
@@ -113,6 +122,7 @@ GasRunResult<App> RunGasEngineReference(EngineKind kind,
       mask &= mask - 1;
       cluster.machine(master).ChargePhaseBytes(sizes.control_message);
       cluster.machine(m).ReceiveBytes(sizes.control_message);
+      if (observed) activation_bytes += sizes.control_message;
     }
   };
 
@@ -120,32 +130,46 @@ GasRunResult<App> RunGasEngineReference(EngineKind kind,
   // Activation signals piggyback on the state-sync messages sent for the
   // same vertices (the real engines coalesce them), so scatter itself only
   // charges compute work.
+  // Returns the scatter compute total in quarter-units (span args only).
   auto run_scatter = [&](const std::vector<bool>& signaled,
-                         std::vector<bool>& next_active) {
+                         std::vector<bool>& next_active) -> uint64_t {
+    uint64_t units = 0;
     for (uint64_t i = 0; i < dg.edges.size(); ++i) {
       const graph::Edge& e = dg.edges[i];
       bool src_scatters = IncludesOut(App::kScatterDir) && signaled[e.src];
       bool dst_scatters = IncludesIn(App::kScatterDir) && signaled[e.dst];
       if (!src_scatters && !dst_scatters) continue;
       sim::MachineId m = machine_of_edge(i);
-      cluster.machine(m).AddWork(work_mul *
-                                 ((src_scatters ? 1 : 0) +
-                                  (dst_scatters ? 1 : 0)));
+      const int events = (src_scatters ? 1 : 0) + (dst_scatters ? 1 : 0);
+      cluster.machine(m).AddWork(work_mul * events);
+      units += 4ULL * static_cast<uint64_t>(events);
       if (src_scatters) next_active[e.dst] = true;
       if (dst_scatters) next_active[e.src] = true;
     }
+    return units;
   };
 
   // Optional bootstrap: initially active vertices announce themselves;
   // with no apply/sync step yet, these activations do cross the wire.
   if (App::kBootstrapScatter) {
+    obs::ScopedSpan bootstrap_span(exec.trace, exec.trace_track, "bootstrap",
+                                   "engine", cluster.now_seconds());
     std::vector<bool> next_active(n, false);
-    run_scatter(active, next_active);
+    const uint64_t boot_units = run_scatter(active, next_active);
+    uint64_t init_count = 0;
     for (graph::VertexId v = 0; v < n; ++v) {
-      if (active[v]) charge_activation(v);
+      if (active[v]) {
+        ++init_count;
+        charge_activation(v);
+      }
     }
     cluster.EndPhase();
     active.swap(next_active);
+    bootstrap_span.Arg("frontier", static_cast<int64_t>(init_count));
+    bootstrap_span.Arg("scatter_units", static_cast<int64_t>(boot_units));
+    bootstrap_span.Arg("scatter_bytes",
+                       static_cast<int64_t>(activation_bytes));
+    bootstrap_span.End(cluster.now_seconds());
   }
 
   std::vector<Gather> acc(n, app.GatherInit());
@@ -165,6 +189,9 @@ GasRunResult<App> RunGasEngineReference(EngineKind kind,
       stats.converged = true;
       break;
     }
+    observer.BeginSuperstep(iteration);
+    SuperstepBreakdown breakdown;
+    breakdown.frontier = active_count;
 
     // ---- Gather minor-step ------------------------------------------------
     for (graph::VertexId v = 0; v < n; ++v) {
@@ -183,11 +210,13 @@ GasRunResult<App> RunGasEngineReference(EngineKind kind,
         app.GatherEdge(e.dst, e.src, state[e.src], ctx, &acc[e.dst]);
         has_gather[e.dst] = true;
         cluster.machine(m).AddWork(work_mul);
+        if (observed) breakdown.gather_units += 4;
       }
       if (gather_src) {
         app.GatherEdge(e.src, e.dst, state[e.dst], ctx, &acc[e.src]);
         has_gather[e.src] = true;
         cluster.machine(m).AddWork(work_mul);
+        if (observed) breakdown.gather_units += 4;
       }
     }
 
@@ -198,6 +227,7 @@ GasRunResult<App> RunGasEngineReference(EngineKind kind,
       if (!active[v]) continue;
       sim::MachineId master = masks.master_machine[v];
       cluster.machine(master).AddWork(work_mul);
+      if (observed) breakdown.apply_units += 4;
       bool signal = app.Apply(v, acc[v], has_gather[v], ctx, &state[v]);
       if (signal) {
         signaled[v] = true;
@@ -215,6 +245,11 @@ GasRunResult<App> RunGasEngineReference(EngineKind kind,
             static_cast<double>(gather_partition_count[v]) +
             (signal ? static_cast<double>(scatter_partition_count[v]) : 0);
         cluster.machine(master).AddWork(0.8 * work_mul * blocks);
+        if (observed) {
+          breakdown.graphx_blocks +=
+              static_cast<uint64_t>(gather_partition_count[v]) +
+              (signal ? scatter_partition_count[v] : 0);
+        }
       }
 
       // Gather messages: mirrors -> master.
@@ -237,6 +272,11 @@ GasRunResult<App> RunGasEngineReference(EngineKind kind,
         cluster.machine(src).ChargePhaseBytes(sizes.gather_message);
         cluster.machine(master).ReceiveBytes(sizes.gather_message);
         cluster.machine(src).AddWork(0.25 * work_mul);  // serialize
+        if (observed) {
+          breakdown.apply_units += 1;
+          breakdown.apply_bytes +=
+              sizes.control_message + sizes.gather_message;
+        }
       }
 
       // State synchronization: master -> mirrors (only when state changed;
@@ -267,13 +307,19 @@ GasRunResult<App> RunGasEngineReference(EngineKind kind,
           cluster.machine(master).ChargePhaseBytes(sizes.sync_message);
           cluster.machine(dst).ReceiveBytes(sizes.sync_message);
           cluster.machine(master).AddWork(0.25 * work_mul);
+          if (observed) {
+            breakdown.apply_units += 1;
+            breakdown.apply_bytes += sizes.sync_message;
+          }
         }
       }
     }
 
     // ---- Scatter minor-step ------------------------------------------------
     std::fill(next_active.begin(), next_active.end(), false);
-    if (signaled_count > 0) run_scatter(signaled, next_active);
+    if (signaled_count > 0) {
+      breakdown.scatter_units = run_scatter(signaled, next_active);
+    }
 
     // Three minor-step barriers per superstep (§5.1.2).
     cluster.EndPhase();
@@ -281,10 +327,12 @@ GasRunResult<App> RunGasEngineReference(EngineKind kind,
                            cluster.cost_model().barrier_latency_seconds);
     stats.cumulative_seconds.push_back(cluster.now_seconds() -
                                        compute_start);
-    if (options.timeline != nullptr) options.timeline->Sample(cluster);
+    breakdown.signaled = signaled_count;
+    observer.EndSuperstep(breakdown);
     active.swap(next_active);
   }
 
+  observer.Finish();
   stats.iterations = iteration;
   if (!stats.converged && iteration == options.max_iterations) {
     // Ran to the iteration cap; report whether anything is still active.

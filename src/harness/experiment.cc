@@ -65,13 +65,21 @@ partition::PartitionContext PartitionContextFor(const graph::EdgeList& edges,
   return context;
 }
 
+obs::ExecContext ExecFor(const ExperimentSpec& spec, sim::Timeline* timeline) {
+  obs::ExecContext exec =
+      spec.exec.WithLegacy(spec.engine_threads, /*legacy_timeline=*/nullptr);
+  // The cell's timeline is result-owned and selected via record_timeline;
+  // it always wins over whatever exec.timeline held.
+  exec.timeline = timeline;
+  return exec;
+}
+
 partition::IngestOptions IngestOptionsFor(const ExperimentSpec& spec,
-                                          sim::Timeline* timeline) {
+                                          const obs::ExecContext& exec) {
   partition::IngestOptions options;
   options.num_loaders = spec.num_loaders;
-  options.num_threads = spec.engine_threads;
+  options.exec = exec;
   options.seed = spec.seed ^ 0x51ed2701;
-  options.timeline = timeline;
   switch (spec.engine) {
     case engine::EngineKind::kPowerGraphSync:
       options.master_policy = partition::MasterPolicy::kRandomReplica;
@@ -93,11 +101,10 @@ partition::IngestOptions IngestOptionsFor(const ExperimentSpec& spec,
 }
 
 engine::RunOptions RunOptionsFor(const ExperimentSpec& spec,
-                                 sim::Timeline* timeline) {
+                                 const obs::ExecContext& exec) {
   engine::RunOptions options;
   options.max_iterations = spec.max_iterations;
-  options.num_threads = spec.engine_threads;
-  options.timeline = timeline;
+  options.exec = exec;
   if (spec.engine == engine::EngineKind::kGraphXPregel) {
     // Dataflow/JVM overhead: GraphX computation is markedly slower per
     // edge-op than the C++ systems (§7.4 observes compute >> partitioning).
@@ -268,16 +275,17 @@ ExperimentResult RunCell(const graph::EdgeList& edges,
   sim::Cluster cluster(spec.num_machines, sim::CostModel{});
   ExperimentResult result;
   sim::Timeline* timeline = spec.record_timeline ? &result.timeline : nullptr;
+  const obs::ExecContext exec = internal::ExecFor(spec, timeline);
 
   partition::IngestResult ingest = partition::IngestWithStrategy(
       edges, spec.strategy, internal::PartitionContextFor(edges, spec),
-      cluster, internal::IngestOptionsFor(spec, timeline));
+      cluster, internal::IngestOptionsFor(spec, exec));
   GDP_DCHECK_OK(partition::ValidateDistributedGraph(ingest.graph));
   internal::PopulateIngressMetrics(ingest.report, &result);
 
   if (!ingress_only) {
     internal::RunApp(spec, ingest.graph, /*plans=*/nullptr, cluster,
-                     internal::RunOptionsFor(spec, timeline), &result);
+                     internal::RunOptionsFor(spec, exec), &result);
     if (timeline != nullptr) timeline->Mark(cluster, "compute-end");
   }
 

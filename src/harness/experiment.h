@@ -8,6 +8,7 @@
 #include "engine/gas_engine.h"
 #include "engine/run_stats.h"
 #include "graph/edge_list.h"
+#include "obs/exec_context.h"
 #include "partition/ingest.h"
 #include "sim/timeline.h"
 
@@ -53,13 +54,22 @@ struct ExperimentSpec {
   uint64_t seed = 42;
   /// Parallel loaders (0 = one per machine, the paper's setup).
   uint32_t num_loaders = 0;
-  /// Capture a resource timeline (Fig 6.3).
+  /// Capture a resource timeline (Fig 6.3). The timeline lives in the
+  /// ExperimentResult, so it stays a flag here rather than moving into
+  /// `exec` (which carries caller-owned sinks).
   bool record_timeline = false;
+  /// DEPRECATED alias for exec.num_threads (one-PR migration window).
   /// Host threads driving this cell's engine and ingress internals
   /// (0 = hardware default). Results are bit-identical at any setting (the
   /// engine and ingest determinism contracts); the grid runner pins this
   /// to 1 for cells it already runs concurrently.
   uint32_t engine_threads = 0;
+  /// Execution context for this cell: host threads plus caller-owned
+  /// observability sinks (metrics registry, trace recorder, trace track).
+  /// exec.timeline is ignored here — use record_timeline, which samples
+  /// into the result's own timeline. Attaching sinks never changes
+  /// simulated results (the observability determinism contract).
+  obs::ExecContext exec;
 };
 
 /// Everything the paper measures for one run (§4.3).

@@ -12,6 +12,7 @@
 #include "engine/run_stats.h"
 #include "graph/edge_list.h"
 #include "harness/experiment.h"
+#include "obs/exec_context.h"
 #include "partition/ingest.h"
 #include "partition/partitioner.h"
 #include "sim/cluster.h"
@@ -23,15 +24,20 @@ namespace gdp::harness::internal {
 partition::PartitionContext PartitionContextFor(const graph::EdgeList& edges,
                                                 const ExperimentSpec& spec);
 
+/// The resolved execution context for one cell: spec.exec with the
+/// deprecated spec.engine_threads folded in and `timeline` (the result's
+/// timeline when spec.record_timeline, else null) attached.
+obs::ExecContext ExecFor(const ExperimentSpec& spec, sim::Timeline* timeline);
+
 /// Ingest options for one spec: master policy per engine, derived seed,
-/// ingest lanes from spec.engine_threads.
+/// and the resolved execution context (threads + observability sinks).
 partition::IngestOptions IngestOptionsFor(const ExperimentSpec& spec,
-                                          sim::Timeline* timeline);
+                                          const obs::ExecContext& exec);
 
 /// Engine options for one spec: iteration cap, GraphX work multiplier,
-/// engine lanes from spec.engine_threads.
+/// and the resolved execution context (threads + observability sinks).
 engine::RunOptions RunOptionsFor(const ExperimentSpec& spec,
-                                 sim::Timeline* timeline);
+                                 const obs::ExecContext& exec);
 
 /// Copies the ingress-side metrics of `report` into `out`.
 void PopulateIngressMetrics(const partition::IngressReport& report,

@@ -1,5 +1,9 @@
 #include "harness/grid.h"
 
+#include <string>
+
+#include "obs/trace.h"
+#include "partition/partitioner.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -8,9 +12,11 @@ namespace gdp::harness {
 std::vector<ExperimentResult> RunGrid(const std::vector<GridCell>& cells,
                                       const GridOptions& options) {
   std::vector<ExperimentResult> results(cells.size());
+  const obs::ExecContext grid_exec = options.Exec();
+  GDP_CHECK(grid_exec.timeline == nullptr);
   const uint32_t num_threads =
-      options.num_threads != 0 ? options.num_threads
-                               : util::ThreadPool::DefaultThreadCount();
+      grid_exec.num_threads != 0 ? grid_exec.num_threads
+                                 : util::ThreadPool::DefaultThreadCount();
   util::ThreadPool pool(num_threads);
   const bool pin_cell_lanes = pool.num_threads() > 1;
   pool.ParallelFor(cells.size(), [&](uint64_t i, uint32_t) {
@@ -18,6 +24,21 @@ std::vector<ExperimentResult> RunGrid(const std::vector<GridCell>& cells,
     GDP_CHECK(cell.edges != nullptr);
     ExperimentSpec spec = cell.spec;
     if (pin_cell_lanes && spec.engine_threads == 0) spec.engine_threads = 1;
+    // Hand the grid's shared sinks to the cell where the cell has none of
+    // its own, and give every cell a private trace track so concurrent
+    // cells keep consistent per-track span nesting.
+    if (spec.exec.metrics == nullptr) spec.exec.metrics = grid_exec.metrics;
+    if (spec.exec.trace == nullptr) {
+      spec.exec.trace = grid_exec.trace;
+      spec.exec.trace_track = grid_exec.trace_track + i;
+    }
+    obs::ScopedSpan cell_span(
+        spec.exec.trace, spec.exec.trace_track,
+        "cell " + std::to_string(i) + ": " +
+            partition::StrategyName(spec.strategy) + "/" +
+            engine::EngineKindName(spec.engine) + "/" +
+            AppKindName(spec.app),
+        "grid", /*sim_begin_seconds=*/0.0);
     if (options.cache != nullptr) {
       results[i] = cell.ingress_only
                        ? RunIngressOnlyCached(*cell.edges, spec,
@@ -28,6 +49,9 @@ std::vector<ExperimentResult> RunGrid(const std::vector<GridCell>& cells,
       results[i] = cell.ingress_only ? RunIngressOnly(*cell.edges, spec)
                                      : RunExperiment(*cell.edges, spec);
     }
+    // The cell's sim clock starts at 0 on its private cluster; the span
+    // covers the whole cell in that cell's own simulated time.
+    cell_span.End(results[i].total_seconds);
   });
   return results;
 }

@@ -7,6 +7,7 @@
 #include "graph/edge_list.h"
 #include "harness/experiment.h"
 #include "harness/partition_cache.h"
+#include "obs/exec_context.h"
 
 namespace gdp::harness {
 
@@ -20,12 +21,24 @@ struct GridCell {
 };
 
 struct GridOptions {
-  /// Host threads running cells concurrently
-  /// (0 = util::ThreadPool::DefaultThreadCount()).
+  /// Grid-level execution context. exec.num_threads is the number of host
+  /// threads running cells concurrently (0 = DefaultThreadCount());
+  /// exec.metrics / exec.trace are shared across all cells, with every
+  /// cell's spans landing on its own track (exec.trace_track + cell index)
+  /// so per-track nesting stays consistent under concurrency.
+  /// exec.timeline must be null — per-cell timelines live in each result
+  /// (spec.record_timeline).
+  obs::ExecContext exec;
+  /// DEPRECATED alias for exec.num_threads (one-PR migration window).
   uint32_t num_threads = 0;
   /// Shared partition/plan artifact cache. nullptr = every cell ingests
   /// afresh (still parallel). The cache must outlive the RunGrid call.
   PartitionCache* cache = nullptr;
+
+  /// The effective context: `exec` with the deprecated alias folded in.
+  obs::ExecContext Exec() const {
+    return exec.WithLegacy(num_threads, /*legacy_timeline=*/nullptr);
+  }
 };
 
 /// Runs every cell of the grid, scheduling independent cells onto a

@@ -9,7 +9,7 @@ namespace gdp::harness {
 IngressKey PartitionCache::KeyFor(const graph::EdgeList& edges,
                                   const ExperimentSpec& spec) {
   const partition::IngestOptions options =
-      internal::IngestOptionsFor(spec, /*timeline=*/nullptr);
+      internal::IngestOptionsFor(spec, obs::ExecContext{});
   IngressKey key;
   key.edge_fingerprint = edges.Fingerprint();
   key.strategy = spec.strategy;
@@ -40,9 +40,17 @@ const PartitionCache::Entry& PartitionCache::Get(const graph::EdgeList& edges,
   bool built = false;
   std::call_once(slot->once, [&] {
     sim::Cluster cluster(spec.num_machines, sim::CostModel{});
+    // The shared artifact is built with a sink-free context: which cell
+    // wins the build race is scheduling-dependent, so attaching that
+    // cell's trace/metrics would make the observed stream nondeterministic
+    // (and the artifact itself never depends on observers anyway). Thread
+    // count is resolved per-spec; results are thread-count-invariant.
+    obs::ExecContext build_exec;
+    build_exec.num_threads = spec.exec.WithLegacy(
+        spec.engine_threads, /*legacy_timeline=*/nullptr).num_threads;
     slot->entry.ingest = partition::IngestWithStrategy(
         edges, spec.strategy, internal::PartitionContextFor(edges, spec),
-        cluster, internal::IngestOptionsFor(spec, /*timeline=*/nullptr));
+        cluster, internal::IngestOptionsFor(spec, build_exec));
     GDP_DCHECK_OK(
         partition::ValidateDistributedGraph(slot->entry.ingest.graph));
     slot->entry.post_ingress = cluster.Snapshot();
@@ -51,9 +59,9 @@ const PartitionCache::Entry& PartitionCache::Get(const graph::EdgeList& edges,
     built = true;
   });
   if (built) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_->Increment();
   } else {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_->Increment();
   }
   return slot->entry;
 }
@@ -61,6 +69,11 @@ const PartitionCache::Entry& PartitionCache::Get(const graph::EdgeList& edges,
 size_t PartitionCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return slots_.size();
+}
+
+obs::CacheStats PartitionCache::stats() const {
+  return obs::CacheStats{hits_->Value(), misses_->Value(),
+                         bypasses_->Value()};
 }
 
 namespace {
@@ -75,8 +88,12 @@ ExperimentResult RunCellCached(const graph::EdgeList& edges,
   ExperimentResult result;
   internal::PopulateIngressMetrics(entry.ingest.report, &result);
   if (!ingress_only) {
+    // The compute phase runs under the caller's own sinks (the cached and
+    // fresh paths start from bit-identical post-ingress cluster states, so
+    // their compute spans carry identical simulated-cost fields).
     internal::RunApp(spec, entry.ingest.graph, entry.plans.get(), cluster,
-                     internal::RunOptionsFor(spec, /*timeline=*/nullptr),
+                     internal::RunOptionsFor(
+                         spec, internal::ExecFor(spec, /*timeline=*/nullptr)),
                      &result);
   }
   internal::FinalizeClusterMetrics(cluster, &result);
@@ -89,14 +106,20 @@ ExperimentResult RunExperimentCached(const graph::EdgeList& edges,
                                      const ExperimentSpec& spec,
                                      PartitionCache& cache) {
   // A recorded timeline must watch the ingress happen; run it fresh.
-  if (spec.record_timeline) return RunExperiment(edges, spec);
+  if (spec.record_timeline) {
+    cache.CountBypass();
+    return RunExperiment(edges, spec);
+  }
   return RunCellCached(edges, spec, cache, /*ingress_only=*/false);
 }
 
 ExperimentResult RunIngressOnlyCached(const graph::EdgeList& edges,
                                       const ExperimentSpec& spec,
                                       PartitionCache& cache) {
-  if (spec.record_timeline) return RunIngressOnly(edges, spec);
+  if (spec.record_timeline) {
+    cache.CountBypass();
+    return RunIngressOnly(edges, spec);
+  }
   return RunCellCached(edges, spec, cache, /*ingress_only=*/true);
 }
 

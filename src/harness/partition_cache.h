@@ -1,7 +1,6 @@
 #ifndef GDP_HARNESS_PARTITION_CACHE_H_
 #define GDP_HARNESS_PARTITION_CACHE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -10,6 +9,7 @@
 #include "engine/plan_cache.h"
 #include "graph/edge_list.h"
 #include "harness/experiment.h"
+#include "obs/metrics.h"
 #include "partition/ingest.h"
 #include "sim/cluster.h"
 
@@ -74,9 +74,19 @@ class PartitionCache {
   /// first use. The caller must not outlive the cache with the reference.
   const Entry& Get(const graph::EdgeList& edges, const ExperimentSpec& spec);
 
-  /// Cells served from an existing entry / cells that ran the ingress.
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Lookup accounting: hits (entry already built), misses (this call ran
+  /// the ingress), bypasses (timeline-recording cells that skipped the
+  /// cache — see RunExperimentCached). Backed by the cache's own metrics
+  /// registry.
+  obs::CacheStats stats() const;
+
+  /// Records one cache bypass (a cell that deliberately ran fresh).
+  void CountBypass() { bypasses_->Increment(); }
+
+  /// DEPRECATED alias for stats().hits (one-PR migration window).
+  uint64_t hits() const { return hits_->Value(); }
+  /// DEPRECATED alias for stats().misses (one-PR migration window).
+  uint64_t misses() const { return misses_->Value(); }
   size_t size() const;
 
  private:
@@ -87,8 +97,11 @@ class PartitionCache {
 
   mutable std::mutex mu_;
   std::map<IngressKey, std::unique_ptr<Slot>> slots_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
+  // Registry-backed lookup counters (see stats()).
+  obs::MetricsRegistry registry_;
+  obs::Counter* hits_ = registry_.GetCounter("partition_cache.hits");
+  obs::Counter* misses_ = registry_.GetCounter("partition_cache.misses");
+  obs::Counter* bypasses_ = registry_.GetCounter("partition_cache.bypasses");
 };
 
 /// RunExperiment through `cache`: ingress (and plan construction) are

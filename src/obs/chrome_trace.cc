@@ -1,0 +1,378 @@
+#include "obs/chrome_trace.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace gdp::obs {
+namespace {
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonDouble(double v, std::string* out) {
+  // max_digits10 round-trips the double exactly; trace consumers reparse
+  // the same bits the span carried.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+  // Bare exponent-less integers ("3") are still valid JSON numbers.
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const TraceRecorder& recorder) {
+  const std::vector<TraceSpan> spans = recorder.SpansByTrack();
+  std::string out;
+  out.reserve(256 + spans.size() * 160);
+  out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  bool first = true;
+  for (const TraceSpan& span : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":");
+    AppendJsonString(span.name, &out);
+    out.append(",\"cat\":");
+    AppendJsonString(span.category, &out);
+    out.append(",\"ph\":\"X\",\"pid\":1,\"tid\":");
+    out.append(std::to_string(span.track));
+    out.append(",\"ts\":");
+    AppendJsonDouble(span.wall_begin_us, &out);
+    out.append(",\"dur\":");
+    AppendJsonDouble(span.wall_dur_us, &out);
+    out.append(",\"args\":{\"sim_begin_s\":");
+    AppendJsonDouble(span.sim_begin_seconds, &out);
+    out.append(",\"sim_end_s\":");
+    AppendJsonDouble(span.sim_end_seconds, &out);
+    out.append(",\"depth\":");
+    out.append(std::to_string(span.depth));
+    for (const auto& [key, value] : span.args) {
+      out.push_back(',');
+      AppendJsonString(key, &out);
+      out.push_back(':');
+      out.append(std::to_string(value));
+    }
+    out.append("}}");
+  }
+  out.append("]}");
+  return out;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Strict recursive-descent JSON parser over a string_view.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  util::StatusOr<JsonValue> Parse() {
+    JsonValue root;
+    GDP_RETURN_IF_ERROR(ParseValue(&root, /*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  util::Status Error(std::string_view what) const {
+    return util::Status::InvalidArgument("JSON parse error at byte " +
+                                         std::to_string(pos_) + ": " +
+                                         std::string(what));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  util::Status ParseLiteral(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Error("bad literal");
+    }
+    pos_ += word.size();
+    return util::Status::Ok();
+  }
+
+  util::Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return util::Status::Ok();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned int>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned int>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned int>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          // Encode as UTF-8 (surrogate pairs are passed through unpaired —
+          // the exporter only emits \u for C0 controls).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  util::Status ParseNumber(double* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (!ConsumeDigits()) return Error("expected digits");
+    if (Consume('.')) {
+      if (!ConsumeDigits()) return Error("expected fraction digits");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!ConsumeDigits()) return Error("expected exponent digits");
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), *out);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      return Error("unparseable number");
+    }
+    return util::Status::Ok();
+  }
+
+  bool ConsumeDigits() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  util::Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->type = JsonValue::Type::kObject;
+      SkipWhitespace();
+      if (Consume('}')) return util::Status::Ok();
+      while (true) {
+        SkipWhitespace();
+        std::string key;
+        GDP_RETURN_IF_ERROR(ParseString(&key));
+        SkipWhitespace();
+        if (!Consume(':')) return Error("expected ':'");
+        JsonValue value;
+        GDP_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+        out->object.emplace_back(std::move(key), std::move(value));
+        SkipWhitespace();
+        if (Consume('}')) return util::Status::Ok();
+        if (!Consume(',')) return Error("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->type = JsonValue::Type::kArray;
+      SkipWhitespace();
+      if (Consume(']')) return util::Status::Ok();
+      while (true) {
+        JsonValue value;
+        GDP_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+        out->array.push_back(std::move(value));
+        SkipWhitespace();
+        if (Consume(']')) return util::Status::Ok();
+        if (!Consume(',')) return Error("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->string);
+    }
+    if (c == 't') {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      return ParseLiteral("true");
+    }
+    if (c == 'f') {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = false;
+      return ParseLiteral("false");
+    }
+    if (c == 'n') {
+      out->type = JsonValue::Type::kNull;
+      return ParseLiteral("null");
+    }
+    out->type = JsonValue::Type::kNumber;
+    return ParseNumber(&out->number);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+util::Status RequireNumber(const JsonValue& event, std::string_view key,
+                           size_t index) {
+  const JsonValue* v = event.Find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kNumber) {
+    return util::Status::InvalidArgument(
+        "traceEvents[" + std::to_string(index) + "] missing numeric '" +
+        std::string(key) + "'");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::StatusOr<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+util::Status ValidateChromeTraceJson(std::string_view json) {
+  GDP_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json));
+  if (root.type != JsonValue::Type::kObject) {
+    return util::Status::InvalidArgument("trace root is not an object");
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    return util::Status::InvalidArgument("missing 'traceEvents' array");
+  }
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& event = events->array[i];
+    if (event.type != JsonValue::Type::kObject) {
+      return util::Status::InvalidArgument(
+          "traceEvents[" + std::to_string(i) + "] is not an object");
+    }
+    const JsonValue* name = event.Find("name");
+    if (name == nullptr || name->type != JsonValue::Type::kString) {
+      return util::Status::InvalidArgument(
+          "traceEvents[" + std::to_string(i) + "] missing string 'name'");
+    }
+    const JsonValue* ph = event.Find("ph");
+    if (ph == nullptr || ph->type != JsonValue::Type::kString ||
+        ph->string.empty()) {
+      return util::Status::InvalidArgument(
+          "traceEvents[" + std::to_string(i) + "] missing string 'ph'");
+    }
+    GDP_RETURN_IF_ERROR(RequireNumber(event, "ts", i));
+    GDP_RETURN_IF_ERROR(RequireNumber(event, "pid", i));
+    GDP_RETURN_IF_ERROR(RequireNumber(event, "tid", i));
+    if (ph->string == "X") {
+      GDP_RETURN_IF_ERROR(RequireNumber(event, "dur", i));
+    }
+    const JsonValue* args = event.Find("args");
+    if (args != nullptr && args->type != JsonValue::Type::kObject) {
+      return util::Status::InvalidArgument(
+          "traceEvents[" + std::to_string(i) + "] 'args' is not an object");
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace gdp::obs

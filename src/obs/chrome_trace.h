@@ -1,0 +1,60 @@
+#ifndef GDP_OBS_CHROME_TRACE_H_
+#define GDP_OBS_CHROME_TRACE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace gdp::obs {
+
+/// Renders every span in `recorder` as Chrome `trace_event` JSON (the
+/// format chrome://tracing and Perfetto load): one complete event
+/// (`"ph":"X"`) per span, wall clock in `ts`/`dur` (microseconds), the
+/// span's track as `tid`, and the simulated clock plus all deterministic
+/// integer args under `args`. Events are emitted grouped by track in begin
+/// order — the canonical deterministic ordering.
+std::string ToChromeTraceJson(const TraceRecorder& recorder);
+
+/// A parsed JSON value — the minimal DOM ValidateChromeTraceJson and the
+/// round-trip tests need. Numbers are held as doubles; object members keep
+/// source order.
+struct JsonValue {
+  /// JSON value kinds.
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Kind of this value.
+  Type type = Type::kNull;
+  /// Payload for kBool.
+  bool boolean = false;
+  /// Payload for kNumber.
+  double number = 0.0;
+  /// Payload for kString (unescaped).
+  std::string string;
+  /// Payload for kArray.
+  std::vector<JsonValue> array;
+  /// Payload for kObject, in source order.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// The member named `key`, or null when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses `text` as a single JSON document (strict: no trailing garbage,
+/// no comments, strings must be valid escapes). Returns InvalidArgument
+/// with a byte offset on malformed input.
+util::StatusOr<JsonValue> ParseJson(std::string_view text);
+
+/// Checks that `json` is a valid Chrome `trace_event` document: parses it,
+/// requires a top-level object with a `traceEvents` array, and requires
+/// every event to be an object carrying `name` (string), `ph` (string),
+/// numeric `ts`/`dur`/`pid`/`tid`, and an `args` object. This is the
+/// parser-check leg of the trace round-trip tests.
+util::Status ValidateChromeTraceJson(std::string_view json);
+
+}  // namespace gdp::obs
+
+#endif  // GDP_OBS_CHROME_TRACE_H_

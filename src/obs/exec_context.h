@@ -1,0 +1,64 @@
+#ifndef GDP_OBS_EXEC_CONTEXT_H_
+#define GDP_OBS_EXEC_CONTEXT_H_
+
+#include <cstdint>
+
+namespace gdp::sim {
+class Timeline;
+}  // namespace gdp::sim
+
+namespace gdp::obs {
+
+class MetricsRegistry;
+class TraceRecorder;
+
+/// The shared execution context threaded through every subsystem that runs
+/// work (ingress pipeline, GAS engines, experiment harness, grid runner).
+/// It replaces the `num_threads` + `timeline` field pairs that used to be
+/// copy-pasted across IngestOptions, RunOptions, and ExperimentSpec, and
+/// carries the observability sinks introduced with it.
+///
+/// Cost contract: a default-constructed ExecContext ("null context") makes
+/// every instrumentation site a branch on a nullptr — no allocation, no
+/// lock, no string formatting. Determinism contract: nothing reachable from
+/// this struct may influence simulated results; observers only *read*
+/// simulated state, so attaching or detaching them leaves every simulated
+/// cost bit-identical (asserted by bench_obs_overhead and tests/obs_test).
+struct ExecContext {
+  /// Host threads driving the parallel internals (0 = hardware default).
+  /// Simulated results are bit-identical at every setting — the engine and
+  /// ingest determinism contracts (DESIGN.md sections 7-8).
+  uint32_t num_threads = 0;
+  /// Optional resource timeline sampled at phase barriers (Fig 6.3). Not
+  /// owned; may be null.
+  sim::Timeline* timeline = nullptr;
+  /// Optional metrics sink (counters/gauges/histograms). Not owned.
+  MetricsRegistry* metrics = nullptr;
+  /// Optional trace-span sink (phase-scoped spans, two clocks). Not owned.
+  TraceRecorder* trace = nullptr;
+  /// Trace track ("tid" in the Chrome trace) spans opened through this
+  /// context land on. The grid runner gives each concurrent cell its own
+  /// track so nesting depths stay per-cell consistent.
+  uint64_t trace_track = 0;
+
+  /// True when any observer (timeline, metrics, trace) is attached.
+  bool HasObservers() const {
+    return timeline != nullptr || metrics != nullptr || trace != nullptr;
+  }
+
+  /// Resolves the deprecated per-options fields into this context: an
+  /// explicit `exec` setting wins; a legacy field only applies where the
+  /// context still holds its default. Lets call sites migrate mechanically
+  /// while both spellings coexist for one PR.
+  ExecContext WithLegacy(uint32_t legacy_num_threads,
+                         sim::Timeline* legacy_timeline) const {
+    ExecContext out = *this;
+    if (out.num_threads == 0) out.num_threads = legacy_num_threads;
+    if (out.timeline == nullptr) out.timeline = legacy_timeline;
+    return out;
+  }
+};
+
+}  // namespace gdp::obs
+
+#endif  // GDP_OBS_EXEC_CONTEXT_H_

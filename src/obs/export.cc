@@ -1,0 +1,38 @@
+#include "obs/export.h"
+
+#include <string>
+
+namespace gdp::obs {
+
+util::Table MetricsTable(const MetricsRegistry& registry) {
+  util::Table table({"metric", "kind", "value", "sum", "max"});
+  for (const MetricsRegistry::Sample& s : registry.Snapshot()) {
+    const bool hist = s.kind == MetricKind::kHistogram;
+    table.AddRow({s.name, MetricKindName(s.kind), std::to_string(s.value),
+                  hist ? std::to_string(s.sum) : std::string("-"),
+                  hist ? std::to_string(s.max) : std::string("-")});
+  }
+  return table;
+}
+
+util::Table SpansTable(const TraceRecorder& recorder) {
+  util::Table table({"track", "depth", "category", "name", "sim_begin_s",
+                     "sim_end_s", "wall_us", "args"});
+  for (const TraceSpan& span : recorder.SpansByTrack()) {
+    std::string args;
+    for (const auto& [key, value] : span.args) {
+      if (!args.empty()) args.append("; ");
+      args.append(key);
+      args.push_back('=');
+      args.append(std::to_string(value));
+    }
+    table.AddRow({std::to_string(span.track), std::to_string(span.depth),
+                  span.category, span.name,
+                  util::Table::Num(span.sim_begin_seconds, 6),
+                  util::Table::Num(span.sim_end_seconds, 6),
+                  util::Table::Num(span.wall_dur_us, 1), args});
+  }
+  return table;
+}
+
+}  // namespace gdp::obs

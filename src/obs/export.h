@@ -1,0 +1,24 @@
+#ifndef GDP_OBS_EXPORT_H_
+#define GDP_OBS_EXPORT_H_
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/table.h"
+
+namespace gdp::obs {
+
+/// Renders a registry snapshot as a util::Table (name / kind / value /
+/// sum / max), one row per metric in registration order. The table's
+/// ToCsv() is the CSV export path.
+util::Table MetricsTable(const MetricsRegistry& registry);
+
+/// Renders the recorder's spans as a util::Table, one row per span in
+/// canonical (track, begin) order: track / depth / category / name /
+/// simulated begin+end seconds / wall microseconds / flattened args
+/// ("k=v; ..."). Wall columns are host-dependent; every other column is
+/// covered by the determinism contracts.
+util::Table SpansTable(const TraceRecorder& recorder);
+
+}  // namespace gdp::obs
+
+#endif  // GDP_OBS_EXPORT_H_

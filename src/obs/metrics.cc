@@ -1,0 +1,139 @@
+#include "obs/metrics.h"
+
+#include "util/check.h"
+
+namespace gdp::obs {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+size_t Counter::ShardIndex() {
+  static std::atomic<size_t> next_thread{0};
+  thread_local const size_t slot =
+      next_thread.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::GetEntry(std::string_view name,
+                                                  MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = index_.find(name); it != index_.end()) {
+    GDP_CHECK(it->second->kind == kind)
+        << "metric '" << it->second->name << "' already registered as "
+        << MetricKindName(it->second->kind) << ", requested as "
+        << MetricKindName(kind);
+    return it->second;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  Entry* raw = entry.get();
+  entries_.push_back(std::move(entry));
+  index_.emplace(raw->name, raw);
+  return raw;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  return GetEntry(name, MetricKind::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  return GetEntry(name, MetricKind::kGauge)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  return GetEntry(name, MetricKind::kHistogram)->histogram.get();
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    Sample s;
+    s.name = entry->name;
+    s.kind = entry->kind;
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        s.value = static_cast<int64_t>(entry->counter->Value());
+        break;
+      case MetricKind::kGauge:
+        s.value = entry->gauge->Value();
+        break;
+      case MetricKind::kHistogram:
+        s.value = static_cast<int64_t>(entry->histogram->Count());
+        s.sum = entry->histogram->Sum();
+        s.max = entry->histogram->Max();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  GDP_CHECK(&other != this) << "MergeFrom(self)";
+  // Take a consistent view of `other` first; GetEntry below locks `mu_`, so
+  // holding other.mu_ across both would order the two locks — copying the
+  // sample list avoids holding them simultaneously.
+  std::vector<const Entry*> src;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    src.reserve(other.entries_.size());
+    for (const auto& e : other.entries_) src.push_back(e.get());
+  }
+  for (const Entry* e : src) {
+    switch (e->kind) {
+      case MetricKind::kCounter:
+        GetCounter(e->name)->Add(e->counter->Value());
+        break;
+      case MetricKind::kGauge:
+        GetGauge(e->name)->SetMax(e->gauge->Value());
+        break;
+      case MetricKind::kHistogram: {
+        Histogram* dst = GetHistogram(e->name);
+        for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+          uint64_t n = e->histogram->BucketCount(b);
+          if (n == 0) continue;
+          dst->buckets_[b].fetch_add(n, std::memory_order_relaxed);
+        }
+        dst->count_.fetch_add(e->histogram->Count(),
+                              std::memory_order_relaxed);
+        dst->sum_.fetch_add(e->histogram->Sum(), std::memory_order_relaxed);
+        uint64_t m = e->histogram->Max();
+        uint64_t seen = dst->max_.load(std::memory_order_relaxed);
+        while (m > seen && !dst->max_.compare_exchange_weak(
+                               seen, m, std::memory_order_relaxed)) {
+        }
+        break;
+      }
+    }
+  }
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace gdp::obs

@@ -1,0 +1,65 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace gdp::obs {
+
+TraceRecorder::SpanId TraceRecorder::Begin(uint64_t track,
+                                           std::string_view name,
+                                           std::string_view category,
+                                           double sim_begin_seconds) {
+  const double wall = WallNowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan span;
+  span.name = std::string(name);
+  span.category = std::string(category);
+  span.track = track;
+  span.depth = open_depth_[track]++;
+  span.wall_begin_us = wall;
+  span.sim_begin_seconds = sim_begin_seconds;
+  span.sim_end_seconds = sim_begin_seconds;
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+void TraceRecorder::Arg(SpanId id, std::string_view key, int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GDP_CHECK_LT(id, spans_.size()) << "Arg on unknown span";
+  spans_[id].args.emplace_back(std::string(key), value);
+}
+
+void TraceRecorder::End(SpanId id, double sim_end_seconds) {
+  const double wall = WallNowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  GDP_CHECK_LT(id, spans_.size()) << "End on unknown span";
+  TraceSpan& span = spans_[id];
+  span.wall_dur_us = wall - span.wall_begin_us;
+  span.sim_end_seconds = sim_end_seconds;
+  auto it = open_depth_.find(span.track);
+  GDP_CHECK(it != open_depth_.end() && it->second > 0)
+      << "End without matching Begin on track " << span.track;
+  --it->second;
+}
+
+std::vector<TraceSpan> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<TraceSpan> TraceRecorder::SpansByTrack() const {
+  std::vector<TraceSpan> out = Snapshot();
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     return a.track < b.track;
+                   });
+  return out;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+}  // namespace gdp::obs

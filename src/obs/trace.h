@@ -1,0 +1,144 @@
+#ifndef GDP_OBS_TRACE_H_
+#define GDP_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gdp::obs {
+
+/// One completed phase-scoped span. Spans carry *two* clocks:
+///  - wall time (`wall_begin_us` / `wall_dur_us`), host-dependent and
+///    excluded from every determinism comparison;
+///  - the simulated cluster clock (`sim_begin_seconds` / `sim_end_seconds`),
+///    which the determinism contracts require to be bit-identical across
+///    thread counts {1,2,8} and cached-vs-fresh grid paths.
+/// `args` holds deterministic integer attachments (frontier sizes,
+/// gather/apply/scatter unit totals, pass tick counts).
+struct TraceSpan {
+  /// Span name, e.g. "superstep 3" or "pass greedy".
+  std::string name;
+  /// Coarse grouping: "engine", "ingress", "grid".
+  std::string category;
+  /// Track the span lives on (Chrome "tid"); one per concurrent grid cell.
+  uint64_t track = 0;
+  /// Nesting depth on its track at begin time (0 = top level).
+  uint32_t depth = 0;
+  /// Wall-clock begin, microseconds since the recorder was constructed.
+  double wall_begin_us = 0.0;
+  /// Wall-clock duration in microseconds.
+  double wall_dur_us = 0.0;
+  /// Simulated cluster clock at span begin, in simulated seconds.
+  double sim_begin_seconds = 0.0;
+  /// Simulated cluster clock at span end, in simulated seconds.
+  double sim_end_seconds = 0.0;
+  /// Deterministic integer attachments, in insertion order.
+  std::vector<std::pair<std::string, int64_t>> args;
+};
+
+/// Collects phase-scoped TraceSpans from any thread.
+///
+/// Begin() appends the span immediately, so spans on one track appear in
+/// begin order — deterministic whenever a track is driven serially (each
+/// subsystem opens its spans from its serial barrier points). Concurrent
+/// tracks interleave in the flat list; consumers needing a canonical order
+/// sort by (track, begin order), which SpansByTrack() does.
+class TraceRecorder {
+ public:
+  /// A fresh recorder; wall-clock offsets are measured from construction.
+  TraceRecorder() : wall_origin_(std::chrono::steady_clock::now()) {}
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Opaque handle for an open span.
+  using SpanId = size_t;
+
+  /// Opens a span on `track` at simulated time `sim_begin_seconds`. The
+  /// span's depth is the number of currently-open spans on that track.
+  SpanId Begin(uint64_t track, std::string_view name,
+               std::string_view category, double sim_begin_seconds);
+
+  /// Attaches a deterministic integer arg to an open (or ended) span.
+  void Arg(SpanId id, std::string_view key, int64_t value);
+
+  /// Closes the span: stamps wall duration and the simulated end clock.
+  void End(SpanId id, double sim_end_seconds);
+
+  /// A copy of all spans recorded so far, in begin order.
+  std::vector<TraceSpan> Snapshot() const;
+
+  /// All spans grouped per track (ascending track id), begin order within
+  /// each track — the canonical deterministic ordering even when tracks
+  /// were driven concurrently.
+  std::vector<TraceSpan> SpansByTrack() const;
+
+  /// Number of spans recorded (open + closed).
+  size_t size() const;
+
+ private:
+  double WallNowMicros() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - wall_origin_)
+        .count();
+  }
+
+  const std::chrono::steady_clock::time_point wall_origin_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  std::map<uint64_t, uint32_t> open_depth_;  // track -> currently open spans
+};
+
+/// RAII wrapper around one TraceRecorder span. Null-safe: constructed with
+/// a null recorder (the "null context" case) every method is a no-op and
+/// nothing is allocated. End() must be given the simulated clock *after*
+/// the phase's EndPhase barrier; if never called, the destructor closes the
+/// span at its begin clock (zero simulated duration).
+class ScopedSpan {
+ public:
+  /// Inert span (no recorder attached).
+  ScopedSpan() = default;
+
+  /// Opens a span on `recorder` (no-op when `recorder` is null).
+  ScopedSpan(TraceRecorder* recorder, uint64_t track, std::string_view name,
+             std::string_view category, double sim_begin_seconds)
+      : recorder_(recorder), sim_begin_seconds_(sim_begin_seconds) {
+    if (recorder_ != nullptr) {
+      id_ = recorder_->Begin(track, name, category, sim_begin_seconds);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (!ended_) End(sim_begin_seconds_);
+  }
+
+  /// Attaches a deterministic integer arg.
+  void Arg(std::string_view key, int64_t value) {
+    if (recorder_ != nullptr) recorder_->Arg(id_, key, value);
+  }
+
+  /// Closes the span at simulated time `sim_end_seconds`.
+  void End(double sim_end_seconds) {
+    if (recorder_ != nullptr && !ended_) {
+      recorder_->End(id_, sim_end_seconds);
+    }
+    ended_ = true;
+  }
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  TraceRecorder::SpanId id_ = 0;
+  double sim_begin_seconds_ = 0.0;
+  bool ended_ = false;
+};
+
+}  // namespace gdp::obs
+
+#endif  // GDP_OBS_TRACE_H_

@@ -1,8 +1,11 @@
 #include "partition/ingest.h"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/phase_accumulator.h"
 #include "util/hash.h"
 #include "util/check.h"
@@ -60,10 +63,34 @@ IngestResult Ingest(const graph::EdgeList& edges, Partitioner& partitioner,
   if (num_loaders == 0) num_loaders = partitioner.context().num_loaders;
   if (num_loaders == 0) num_loaders = num_machines;
 
-  uint32_t num_threads = options.num_threads;
+  // Resolved execution context (thread count + observability sinks). The
+  // sinks only read simulated state, so attaching them cannot perturb the
+  // bit-identical determinism contract.
+  const obs::ExecContext exec = options.Exec();
+  sim::Timeline* const timeline = exec.timeline;
+
+  uint32_t num_threads = exec.num_threads;
   if (num_threads == 0) num_threads = util::ThreadPool::DefaultThreadCount();
   num_threads = std::min(num_threads, num_loaders);
   util::ThreadPool pool(num_threads);
+
+  // Per-loader tick counters, registered upfront in loader order so the
+  // registry's registration order is deterministic; fed at each pass
+  // barrier from the loaders' integer accumulator totals.
+  std::vector<obs::Counter*> loader_ticks;
+  obs::Counter* edges_moved_counter = nullptr;
+  obs::Counter* passes_counter = nullptr;
+  if (exec.metrics != nullptr) {
+    loader_ticks.reserve(num_loaders);
+    for (uint32_t l = 0; l < num_loaders; ++l) {
+      loader_ticks.push_back(exec.metrics->GetCounter(
+          "ingress.loader" + std::to_string(l) + ".ticks"));
+    }
+    edges_moved_counter = exec.metrics->GetCounter("ingress.edges_moved");
+    passes_counter = exec.metrics->GetCounter("ingress.passes");
+  }
+  obs::ScopedSpan ingress_span(exec.trace, exec.trace_track, "ingress",
+                               "ingress", cluster.now_seconds());
 
   IngestResult result;
   DistributedGraph& dg = result.graph;
@@ -118,6 +145,9 @@ IngestResult Ingest(const graph::EdgeList& edges, Partitioner& partitioner,
 
   const uint32_t passes = partitioner.num_passes();
   for (uint32_t pass = 0; pass < passes; ++pass) {
+    obs::ScopedSpan pass_span(exec.trace, exec.trace_track,
+                              "pass " + std::to_string(pass), "ingress",
+                              cluster.now_seconds());
     partitioner.BeginPass(pass);
     for (LoaderScratch& s : scratch) s.Reset(num_machines);
 
@@ -186,13 +216,24 @@ IngestResult Ingest(const graph::EdgeList& edges, Partitioner& partitioner,
     merged.Reset(num_machines);
     std::vector<uint64_t> alloc(num_machines, 0);
     std::vector<uint64_t> frees(num_machines, 0);
+    uint64_t pass_moved = 0;
     for (const LoaderScratch& s : scratch) {
       merged.Merge(s.acc);
       for (uint32_t m = 0; m < num_machines; ++m) {
         alloc[m] += s.alloc_bytes[m];
         frees[m] += s.deferred_free_bytes[m];
       }
-      report.edges_moved += s.edges_moved;
+      pass_moved += s.edges_moved;
+    }
+    report.edges_moved += pass_moved;
+    if (exec.metrics != nullptr) {
+      // Per-loader tick totals are integer sums inside one loader's lane —
+      // identical at any thread count.
+      for (uint32_t l = 0; l < num_loaders; ++l) {
+        loader_ticks[l]->Add(scratch[l].acc.TotalWorkUnits());
+      }
+      edges_moved_counter->Add(pass_moved);
+      passes_counter->Increment();
     }
     for (uint32_t m = 0; m < num_machines; ++m) {
       if (alloc[m] != 0) cluster.machine(m).Allocate(alloc[m]);
@@ -200,14 +241,21 @@ IngestResult Ingest(const graph::EdgeList& edges, Partitioner& partitioner,
     merged.FlushTo(cluster, Partitioner::kWorkPerTick);
     charge_state_delta();
     report.pass_seconds.push_back(cluster.EndPhase());
-    if (options.timeline != nullptr) options.timeline->Sample(cluster);
+    if (timeline != nullptr) timeline->Sample(cluster);
     // Pass complete: release the moved edges' old copies.
     for (uint32_t m = 0; m < num_machines; ++m) {
       if (frees[m] != 0) cluster.machine(m).Free(frees[m]);
     }
+    pass_span.Arg("ticks", static_cast<int64_t>(merged.TotalWorkUnits()));
+    pass_span.Arg("sent_bytes",
+                  static_cast<int64_t>(merged.TotalSentBytes()));
+    pass_span.Arg("edges_moved", static_cast<int64_t>(pass_moved));
+    pass_span.End(cluster.now_seconds());
   }
 
   // ---- Finalize: replica tables, masters, per-partition counts. ----------
+  obs::ScopedSpan finalize_span(exec.trace, exec.trace_track, "finalize",
+                                "ingress", cluster.now_seconds());
   dg.replicas = ReplicaTable(dg.num_vertices, num_partitions);
   dg.in_edge_partitions = ReplicaTable(dg.num_vertices, num_partitions);
   dg.out_edge_partitions = ReplicaTable(dg.num_vertices, num_partitions);
@@ -354,7 +402,11 @@ IngestResult Ingest(const graph::EdgeList& edges, Partitioner& partitioner,
         static_cast<double>(present_count) / num_machines);
   }
   report.pass_seconds.push_back(cluster.EndPhase());
-  if (options.timeline != nullptr) options.timeline->Sample(cluster);
+  if (timeline != nullptr) timeline->Sample(cluster);
+  finalize_span.Arg("present_vertices",
+                    static_cast<int64_t>(present_count));
+  finalize_span.Arg("replica_total", static_cast<int64_t>(replica_total));
+  finalize_span.End(cluster.now_seconds());
 
   // Ingress done: the partitioner's transient state is released — exactly
   // the bytes each machine holds, so nothing leaks into steady state.
@@ -362,14 +414,17 @@ IngestResult Ingest(const graph::EdgeList& edges, Partitioner& partitioner,
     if (state_held[m] != 0) cluster.machine(m).Free(state_held[m]);
     state_held[m] = 0;
   }
-  if (options.timeline != nullptr) {
-    options.timeline->Sample(cluster);
-    options.timeline->Mark(cluster, "ingress-end");
+  if (timeline != nullptr) {
+    timeline->Sample(cluster);
+    timeline->Mark(cluster, "ingress-end");
   }
 
   report.ingress_seconds = cluster.now_seconds() - start_time;
   report.replication_factor = dg.replication_factor;
   report.edge_balance_ratio = dg.EdgeBalanceRatio();
+  ingress_span.Arg("edges", static_cast<int64_t>(num_edges));
+  ingress_span.Arg("edges_moved", static_cast<int64_t>(report.edges_moved));
+  ingress_span.End(cluster.now_seconds());
   return result;
 }
 

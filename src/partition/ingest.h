@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/edge_list.h"
+#include "obs/exec_context.h"
 #include "partition/distributed_graph.h"
 #include "partition/partitioner.h"
 #include "sim/cluster.h"
@@ -26,17 +27,29 @@ struct IngestOptions {
   /// Parallel loaders; 0 means one per machine (the paper splits each
   /// dataset into one block per machine, §5.3).
   uint32_t num_loaders = 0;
-  /// Host threads driving the loaders (and the finalize shards); 0 means
-  /// util::ThreadPool::DefaultThreadCount(), clamped to the loader count.
-  /// 1 runs everything inline. Any value yields bit-identical results —
-  /// see the determinism contract on Ingest().
+  /// Execution context: host thread count driving the loaders/finalize
+  /// shards plus the observability sinks (timeline, metrics, trace). The
+  /// pipeline reads the resolved view via Exec(), never the deprecated
+  /// aliases directly.
+  obs::ExecContext exec;
+  /// DEPRECATED alias for exec.num_threads (one-PR migration window).
+  /// 0 means util::ThreadPool::DefaultThreadCount(), clamped to the loader
+  /// count; 1 runs everything inline. Any value yields bit-identical
+  /// results — see the determinism contract on Ingest().
   uint32_t num_threads = 0;
   MasterPolicy master_policy = MasterPolicy::kRandomReplica;
   /// Honor Partitioner::PreferredMaster (used with kVertexHash).
   bool use_partitioner_master_preference = false;
   uint64_t seed = 0x9d2c5680;
+  /// DEPRECATED alias for exec.timeline (one-PR migration window).
   /// Optional timeline to sample during ingress (Fig 6.3).
   sim::Timeline* timeline = nullptr;
+
+  /// The effective context: `exec` with the deprecated aliases folded in
+  /// (an explicit exec setting wins over the legacy fields).
+  obs::ExecContext Exec() const {
+    return exec.WithLegacy(num_threads, timeline);
+  }
 };
 
 /// Per-pass ingress CPU cost (in Partitioner work ticks, 0.05 units each)

@@ -11,8 +11,11 @@
 // the pipeline's merged per-loader sums.
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "partition/ingest.h"
 #include "sim/phase_accumulator.h"
 #include "util/hash.h"
@@ -29,6 +32,26 @@ IngestResult IngestReference(const graph::EdgeList& edges,
   uint32_t num_loaders = options.num_loaders;
   if (num_loaders == 0) num_loaders = partitioner.context().num_loaders;
   if (num_loaders == 0) num_loaders = num_machines;
+
+  // Same observability surface as the pipeline (exec.num_threads is
+  // ignored — this oracle is serial by definition), so tests can compare
+  // the oracle's spans/counters against the pipeline's bit for bit.
+  const obs::ExecContext exec = options.Exec();
+  sim::Timeline* const timeline = exec.timeline;
+  std::vector<obs::Counter*> loader_ticks;
+  obs::Counter* edges_moved_counter = nullptr;
+  obs::Counter* passes_counter = nullptr;
+  if (exec.metrics != nullptr) {
+    loader_ticks.reserve(num_loaders);
+    for (uint32_t l = 0; l < num_loaders; ++l) {
+      loader_ticks.push_back(exec.metrics->GetCounter(
+          "ingress.loader" + std::to_string(l) + ".ticks"));
+    }
+    edges_moved_counter = exec.metrics->GetCounter("ingress.edges_moved");
+    passes_counter = exec.metrics->GetCounter("ingress.passes");
+  }
+  obs::ScopedSpan ingress_span(exec.trace, exec.trace_track, "ingress",
+                               "ingress", cluster.now_seconds());
 
   IngestResult result;
   DistributedGraph& dg = result.graph;
@@ -76,10 +99,15 @@ IngestResult IngestReference(const graph::EdgeList& edges,
 
   const uint32_t passes = partitioner.num_passes();
   for (uint32_t pass = 0; pass < passes; ++pass) {
+    obs::ScopedSpan pass_span(exec.trace, exec.trace_track,
+                              "pass " + std::to_string(pass), "ingress",
+                              cluster.now_seconds());
+    const uint64_t moved_before = report.edges_moved;
     partitioner.BeginPass(pass);
     acc.Reset(num_machines);
     std::fill(alloc.begin(), alloc.end(), 0);
     std::fill(frees.begin(), frees.end(), 0);
+    uint64_t ticks_before_loader = 0;
     for (uint32_t l = 0; l < num_loaders; ++l) {
       const sim::MachineId loader_machine = l % num_machines;
       const uint64_t begin = block_start(l);
@@ -116,21 +144,39 @@ IngestResult IngestReference(const graph::EdgeList& edges,
           }
         }
       }
+      if (exec.metrics != nullptr) {
+        // The shared accumulator's total delta across this loader's block
+        // equals the pipeline's per-loader lane total.
+        const uint64_t ticks_now = acc.TotalWorkUnits();
+        loader_ticks[l]->Add(ticks_now - ticks_before_loader);
+        ticks_before_loader = ticks_now;
+      }
     }
     partitioner.EndPass(pass);
+    const uint64_t pass_moved = report.edges_moved - moved_before;
+    if (exec.metrics != nullptr) {
+      edges_moved_counter->Add(pass_moved);
+      passes_counter->Increment();
+    }
     for (uint32_t m = 0; m < num_machines; ++m) {
       if (alloc[m] != 0) cluster.machine(m).Allocate(alloc[m]);
     }
     acc.FlushTo(cluster, Partitioner::kWorkPerTick);
     charge_state_delta();
     report.pass_seconds.push_back(cluster.EndPhase());
-    if (options.timeline != nullptr) options.timeline->Sample(cluster);
+    if (timeline != nullptr) timeline->Sample(cluster);
     for (uint32_t m = 0; m < num_machines; ++m) {
       if (frees[m] != 0) cluster.machine(m).Free(frees[m]);
     }
+    pass_span.Arg("ticks", static_cast<int64_t>(acc.TotalWorkUnits()));
+    pass_span.Arg("sent_bytes", static_cast<int64_t>(acc.TotalSentBytes()));
+    pass_span.Arg("edges_moved", static_cast<int64_t>(pass_moved));
+    pass_span.End(cluster.now_seconds());
   }
 
   // ---- Finalize (serial). ------------------------------------------------
+  obs::ScopedSpan finalize_span(exec.trace, exec.trace_track, "finalize",
+                                "ingress", cluster.now_seconds());
   dg.replicas = ReplicaTable(dg.num_vertices, num_partitions);
   dg.in_edge_partitions = ReplicaTable(dg.num_vertices, num_partitions);
   dg.out_edge_partitions = ReplicaTable(dg.num_vertices, num_partitions);
@@ -193,20 +239,27 @@ IngestResult IngestReference(const graph::EdgeList& edges,
         static_cast<double>(present_count) / num_machines);
   }
   report.pass_seconds.push_back(cluster.EndPhase());
-  if (options.timeline != nullptr) options.timeline->Sample(cluster);
+  if (timeline != nullptr) timeline->Sample(cluster);
+  finalize_span.Arg("present_vertices",
+                    static_cast<int64_t>(present_count));
+  finalize_span.Arg("replica_total", static_cast<int64_t>(replica_total));
+  finalize_span.End(cluster.now_seconds());
 
   for (uint32_t m = 0; m < num_machines; ++m) {
     if (state_held[m] != 0) cluster.machine(m).Free(state_held[m]);
     state_held[m] = 0;
   }
-  if (options.timeline != nullptr) {
-    options.timeline->Sample(cluster);
-    options.timeline->Mark(cluster, "ingress-end");
+  if (timeline != nullptr) {
+    timeline->Sample(cluster);
+    timeline->Mark(cluster, "ingress-end");
   }
 
   report.ingress_seconds = cluster.now_seconds() - start_time;
   report.replication_factor = dg.replication_factor;
   report.edge_balance_ratio = dg.EdgeBalanceRatio();
+  ingress_span.Arg("edges", static_cast<int64_t>(num_edges));
+  ingress_span.Arg("edges_moved", static_cast<int64_t>(report.edges_moved));
+  ingress_span.End(cluster.now_seconds());
   return result;
 }
 

@@ -48,6 +48,18 @@ void PhaseAccumulator::FlushToReplay(Cluster& cluster,
   }
 }
 
+uint64_t PhaseAccumulator::TotalWorkUnits() const {
+  uint64_t total = 0;
+  for (uint64_t u : work_units_) total += u;
+  return total;
+}
+
+uint64_t PhaseAccumulator::TotalSentBytes() const {
+  uint64_t total = 0;
+  for (uint64_t b : sent_bytes_) total += b;
+  return total;
+}
+
 bool PhaseAccumulator::ClosedFormExact(double unit_value,
                                        uint64_t max_units) {
   if (unit_value == 0.0) return true;

@@ -69,6 +69,13 @@ class PhaseAccumulator {
   uint64_t sent_bytes(MachineId m) const { return sent_bytes_[m]; }
   uint64_t recv_bytes(MachineId m) const { return recv_bytes_[m]; }
 
+  /// Sum of quarter-units over all machines. An integer sum in machine
+  /// order, so it is bit-identical at any thread count — the value the
+  /// observability spans attach as their simulated-cost breakdown.
+  uint64_t TotalWorkUnits() const;
+  /// Sum of sent bytes over all machines (same determinism argument).
+  uint64_t TotalSentBytes() const;
+
   /// True when summing up to `max_units` charges of `unit_value` is exact
   /// under any association — i.e. unit_value = m * 2^e with
   /// bit_width(max_units) + bit_width(m) <= 53 — which makes FlushTo

@@ -102,7 +102,7 @@ void ExpectBitIdenticalAcrossThreads(EngineKind kind,
     sim::Cluster cluster(kMachines, sim::CostModel{});
     IngestResult ingest = Partition(edges, cluster);
     RunOptions run_options = options;
-    run_options.num_threads = threads;
+    run_options.exec.num_threads = threads;
     auto got = RunGasEngine(kind, ingest.graph, cluster, app, run_options);
 
     ASSERT_EQ(got.states.size(), ref.states.size());
@@ -211,7 +211,7 @@ TEST(KCoreDeterminismTest, DecomposeIdenticalAcrossThreadCounts) {
     {
       IngestResult ingest = Partition(edges, baseline_cluster);
       RunOptions options;
-      options.num_threads = 1;
+      options.exec.num_threads = 1;
       baseline = apps::KCoreDecompose(EngineKind::kPowerGraphSync,
                                       ingest.graph, baseline_cluster, 2, 6,
                                       options);
@@ -222,7 +222,7 @@ TEST(KCoreDeterminismTest, DecomposeIdenticalAcrossThreadCounts) {
       sim::Cluster cluster(kMachines, sim::CostModel{});
       IngestResult ingest = Partition(edges, cluster);
       RunOptions options;
-      options.num_threads = threads;
+      options.exec.num_threads = threads;
       apps::KCoreResult got = apps::KCoreDecompose(
           EngineKind::kPowerGraphSync, ingest.graph, cluster, 2, 6, options);
 
@@ -248,7 +248,7 @@ TEST(ExecutionPlanTest, PrebuiltPlanMatchesInternalBuild) {
 
   RunOptions options;
   options.max_iterations = 8;
-  options.num_threads = 2;
+  options.exec.num_threads = 2;
   apps::PageRankApp app = apps::PageRankFixed();
 
   auto internal_build = RunGasEngine(EngineKind::kPowerGraphSync,

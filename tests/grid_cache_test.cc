@@ -185,7 +185,7 @@ TEST(PartitionCacheTest, KeySeparatesIngressInputsOnly) {
   harness::ExperimentSpec app_variant = spec;
   app_variant.app = harness::AppKind::kKCore;
   app_variant.max_iterations = 77;
-  app_variant.engine_threads = 8;
+  app_variant.exec.num_threads = 8;
   EXPECT_EQ(base, harness::PartitionCache::KeyFor(edges, app_variant));
 
   // Strategy, cluster size, seed, and the graph itself do: distinct keys.
@@ -252,7 +252,7 @@ TEST(GridRunnerTest, ThreadCountAndCacheInvariant) {
                    << "threads=" << threads << " cached=" << cached);
       harness::PartitionCache cache;
       harness::GridOptions options;
-      options.num_threads = threads;
+      options.exec.num_threads = threads;
       if (cached) options.cache = &cache;
       std::vector<harness::ExperimentResult> got =
           harness::RunGrid(cells, options);

@@ -116,7 +116,7 @@ TEST_P(IngestDeterminismTest, BitIdenticalToReferenceAtAnyThreadCount) {
   options.num_loaders = kLoaders;
   IngestRun reference = RunIngest(edges, GetParam(), options, /*reference=*/true);
   for (uint32_t threads : {1u, 2u, 8u}) {
-    options.num_threads = threads;
+    options.exec.num_threads = threads;
     IngestRun parallel = RunIngest(edges, GetParam(), options,
                              /*reference=*/false);
     ExpectRunsIdentical(reference, parallel,
@@ -131,7 +131,7 @@ TEST_P(IngestDeterminismTest, MasterPreferenceAndVertexHashPolicyAgree) {
   options.master_policy = MasterPolicy::kVertexHash;
   options.use_partitioner_master_preference = true;
   IngestRun reference = RunIngest(edges, GetParam(), options, /*reference=*/true);
-  options.num_threads = 8;
+  options.exec.num_threads = 8;
   IngestRun parallel = RunIngest(edges, GetParam(), options, /*reference=*/false);
   ExpectRunsIdentical(reference, parallel, "vertex-hash masters, threads=8");
 }

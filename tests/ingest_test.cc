@@ -131,7 +131,7 @@ TEST(IngestTest, TimelineMarksIngressEnd) {
   sim::Cluster cluster(4, sim::CostModel{});
   sim::Timeline timeline;
   IngestOptions options;
-  options.timeline = &timeline;
+  options.exec.timeline = &timeline;
   IngestWithStrategy(edges, StrategyKind::kRandom, MakeContext(4, 100),
                      cluster, options);
   EXPECT_GE(timeline.MarkTime("ingress-end"), 0.0);

@@ -76,14 +76,16 @@ run_leg "asan+ubsan" "$ROOT/build-asan" "" \
 # parallel ingress pipeline (Ingest* matches the ingest determinism +
 # conservation suites), the parallel grid runner and its partition/plan
 # caches (GridRunner/PartitionCache/PlanCache), their
-# frontier/thread-pool/accumulator utilities, and the sim layer they
-# charge. RelWithDebInfo: TSan+Debug is too slow for the determinism
-# matrix, and the race coverage is identical. The -R filter selects the
-# discovered gtest suites that exercise threads; claims_ benches are
-# timing-based and excluded (none of them match).
+# frontier/thread-pool/accumulator utilities, the sim layer they charge,
+# and the observability layer (Obs* suites: sharded metrics counters,
+# trace recorder, ExecContext determinism matrix). RelWithDebInfo:
+# TSan+Debug is too slow for the determinism matrix, and the race coverage
+# is identical. The -R filter selects the discovered gtest suites that
+# exercise threads; claims_ benches are timing-based and excluded (none of
+# them match).
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 run_leg "tsan" "$ROOT/build-tsan" \
-  '(EngineDeterminism|EngineCorrectness|EngineAccounting|EngineEdge|ExecutionPlan|KCoreDeterminism|ThreadPool|DenseBitset|PhaseAccumulator|Machine|Cluster|Async|Ingest|GridRunner|PartitionCache|PlanCache)' \
+  '(EngineDeterminism|EngineCorrectness|EngineAccounting|EngineEdge|ExecutionPlan|KCoreDeterminism|ThreadPool|DenseBitset|PhaseAccumulator|Machine|Cluster|Async|Ingest|GridRunner|PartitionCache|PlanCache|Obs)' \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGDP_SANITIZE=thread
 

@@ -23,6 +23,12 @@
 //                  not be (void)-cast). [[nodiscard]] catches most of this
 //                  at compile time; the lint also catches the (void) cast
 //                  that silences the compiler.
+//   obs-doc        src/obs/*.h only: every public declaration (free
+//                  function, type, constant, public member, public field)
+//                  must carry a `///` doc comment on the preceding line.
+//                  The observability layer is the project's instrumentation
+//                  API surface; undocumented knobs there rot fastest.
+//                  Defaulted/deleted members and destructors are exempt.
 //
 // Comment and string contents are stripped before matching, so prose and
 // literals never trigger findings.
@@ -155,6 +161,76 @@ void CheckHeaderGuard(const FileText& f, std::vector<Finding>& findings) {
                       "header has no #pragma once or #ifndef include guard"});
 }
 
+/// obs-doc: in src/obs/ headers, every public declaration must carry a `///`
+/// doc comment on the line above it. The scan is indentation-based: type,
+/// free-function, and constant declarations sit at column 0; public members
+/// sit at a 2-space indent inside a `public:` (or struct) section.
+/// Continuation lines of multi-line signatures are indented deeper and never
+/// match, so only the first line of a declaration is checked.
+void CheckObsDocs(const FileText& f, std::vector<Finding>& findings) {
+  if (f.path.extension() != ".h" || f.rel.rfind("src/obs/", 0) != 0) return;
+  // Namespace-scope declarations.
+  static const std::regex kTopType(
+      R"(^(?:class|struct|enum(?:\s+class)?)\s+[A-Za-z_])");
+  static const std::regex kForwardDecl(R"(^(?:class|struct)\s+\w+\s*;)");
+  static const std::regex kTopFn(
+      R"(^[A-Za-z_][\w:<>,&*\s]*\s[A-Za-z_]\w*\s*\()");
+  static const std::regex kTopConst(R"(^(?:inline\s+)?constexpr\b)");
+  // Class-scope members: exactly 2 spaces of indent, then a declaration.
+  static const std::regex kMember(
+      R"(^\s{2}(?!public\b|private\b|protected\b)[A-Za-z_~].*[({;])");
+  static const std::regex kDtor(R"(^\s*~)");
+
+  bool member_scope_public = false;  // inside a class/struct public section
+  for (size_t i = 0; i < f.stripped.size(); ++i) {
+    const std::string& line = f.stripped[i];
+    const size_t lineno = i + 1;
+
+    // Track public/private state for the 2-space-indent member scan.
+    if (std::regex_search(line, kTopType) &&
+        !std::regex_search(line, kForwardDecl)) {
+      member_scope_public = line.rfind("class", 0) != 0;  // struct => public
+    }
+    if (line.find("public:") != std::string::npos) member_scope_public = true;
+    if (line.find("private:") != std::string::npos ||
+        line.find("protected:") != std::string::npos) {
+      member_scope_public = false;
+    }
+    if (line.rfind("};", 0) == 0) member_scope_public = false;
+
+    if (HasNolint(f.raw[i])) continue;
+    // Defaulted/deleted members, destructors, and friend declarations need
+    // no prose; their meaning is their spelling.
+    if (line.find("= delete") != std::string::npos ||
+        line.find("= default") != std::string::npos ||
+        line.find("friend ") != std::string::npos ||
+        std::regex_search(line, kDtor)) {
+      continue;
+    }
+
+    bool is_decl = false;
+    if (std::regex_search(line, kTopType) &&
+        !std::regex_search(line, kForwardDecl)) {
+      is_decl = true;
+    } else if (std::regex_search(line, kTopFn) ||
+               std::regex_search(line, kTopConst)) {
+      is_decl = true;
+    } else if (member_scope_public && std::regex_search(line, kMember)) {
+      is_decl = true;
+    }
+    if (!is_decl) continue;
+
+    const bool documented =
+        i > 0 && f.raw[i - 1].find("///") != std::string::npos;
+    if (!documented) {
+      findings.push_back(
+          {f.rel, lineno, "obs-doc",
+           "public declaration in src/obs/ lacks a /// doc comment on the "
+           "preceding line"});
+    }
+  }
+}
+
 void CheckLines(const FileText& f, const std::set<std::string>& status_fns,
                 std::vector<Finding>& findings) {
   static const std::regex kRand(R"(\b(?:std::)?s?rand\s*\()");
@@ -263,6 +339,7 @@ int main(int argc, char** argv) {
   std::vector<Finding> findings;
   for (const FileText& f : files) {
     CheckHeaderGuard(f, findings);
+    CheckObsDocs(f, findings);
     CheckLines(f, status_fns, findings);
   }
 
