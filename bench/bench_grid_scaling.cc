@@ -140,8 +140,8 @@ int main() {
           harness::RunGrid(cells, options);
       double wall = SecondsSince(start);
       runs.push_back({cached ? "cached" : "uncached", threads, cached,
-                      AllIdentical(serial, got), wall, cache.hits(),
-                      cache.misses()});
+                      AllIdentical(serial, got), wall, cache.stats().hits,
+                      cache.stats().misses});
     }
   }
 

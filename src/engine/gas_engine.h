@@ -67,7 +67,7 @@ struct GasRunResult {
 /// returns final vertex states plus cost statistics.
 ///
 /// This is the parallel, frontier-aware engine. Real computation runs on
-/// `options.num_threads` lanes (0 = hardware default) and gather/scatter
+/// `options.exec.num_threads` lanes (0 = hardware default) and gather/scatter
 /// traverse precomputed adjacency restricted to the active frontier, so a
 /// sparse superstep costs O(frontier edges) instead of O(|E|). Simulated
 /// distribution costs charged to `cluster` are *bit-identical* to the
@@ -142,7 +142,7 @@ GasRunResult<App> RunGasEngine(EngineKind kind, const ExecutionPlan& plan,
   // Resolved execution context: thread count + observability sinks. The
   // observer owns the per-superstep timeline sample and span; when no sink
   // is attached (`!observed`) every instrumentation site below is skipped.
-  const obs::ExecContext exec = options.Exec();
+  const obs::ExecContext& exec = options.exec;
   SuperstepObserver observer(exec, cluster, EngineKindName(kind));
   const bool observed = observer.enabled();
 

@@ -7,7 +7,7 @@ const ExecutionPlan& PlanCache::Get(EdgeDirection gather_dir,
                                     bool graphx_counts) {
   Slot* slot = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     std::unique_ptr<Slot>& entry =
         slots_[Key{gather_dir, scatter_dir, graphx_counts}];
     if (entry == nullptr) {
@@ -28,7 +28,7 @@ const ExecutionPlan& PlanCache::Get(EdgeDirection gather_dir,
 }
 
 size_t PlanCache::num_plans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return slots_.size();
 }
 

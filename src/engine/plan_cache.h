@@ -9,6 +9,8 @@
 #include "engine/plan.h"
 #include "obs/metrics.h"
 #include "partition/distributed_graph.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace gdp::engine {
 
@@ -34,12 +36,13 @@ class PlanCache {
 
   /// The plan for the given directions, building it on first use.
   const ExecutionPlan& Get(EdgeDirection gather_dir,
-                           EdgeDirection scatter_dir, bool graphx_counts);
+                           EdgeDirection scatter_dir, bool graphx_counts)
+      GDP_EXCLUDES(mu_);
 
   const partition::DistributedGraph& dg() const { return *dg_; }
 
   /// Plans built so far (for tests and cache-hit accounting).
-  size_t num_plans() const;
+  size_t num_plans() const GDP_EXCLUDES(mu_);
 
   /// Lookup accounting: hits (plan already built) vs misses (this call
   /// created the slot and built the plan). Backed by the cache's own
@@ -54,8 +57,10 @@ class PlanCache {
   using Key = std::tuple<EdgeDirection, EdgeDirection, bool>;
 
   const partition::DistributedGraph* dg_;
-  mutable std::mutex mu_;
-  std::map<Key, std::unique_ptr<Slot>> slots_;
+  /// Guards the slot map only; plan construction runs outside the lock,
+  /// serialized per key by the slot's std::once_flag.
+  mutable util::Mutex mu_;
+  std::map<Key, std::unique_ptr<Slot>> slots_ GDP_GUARDED_BY(mu_);
   // Registry-backed lookup counters (see stats()).
   obs::MetricsRegistry registry_;
   obs::Counter* hits_ = registry_.GetCounter("plan_cache.hits");

@@ -42,7 +42,7 @@ GasRunResult<App> RunGasEngineReference(EngineKind kind,
 
   // Observability only *reads* simulated state — the oracle's charges are
   // untouched. The observer also owns the old per-superstep timeline block.
-  const obs::ExecContext exec = options.Exec();
+  const obs::ExecContext& exec = options.exec;
   SuperstepObserver observer(exec, cluster, EngineKindName(kind));
   const bool observed = observer.enabled();
 

@@ -19,24 +19,13 @@ struct RunOptions {
   /// dataflow-join overheads are modeled as a constant factor).
   double work_multiplier = 1.0;
   /// Execution context: host thread count plus the observability sinks
-  /// (timeline, metrics registry, trace recorder). Engines read the
-  /// resolved view via Exec(), never this field or the aliases directly.
+  /// (timeline, metrics registry, trace recorder). exec.num_threads is the
+  /// real execution lane count for the parallel engine (0 = hardware
+  /// default); simulated costs are bit-identical at every setting, and 1
+  /// reproduces the original serial engine's execution exactly. When
+  /// exec.timeline is set, the engine records a resource sample after
+  /// every superstep (the paper's 1 Hz psutil monitors, Fig 6.3).
   obs::ExecContext exec;
-  /// DEPRECATED alias for exec.timeline (one-PR migration window). When
-  /// set, the engine records a resource sample after every superstep (the
-  /// paper's 1 Hz psutil monitors, Fig 6.3).
-  sim::Timeline* timeline = nullptr;
-  /// DEPRECATED alias for exec.num_threads (one-PR migration window).
-  /// Real execution lanes for the parallel engine (0 = hardware default).
-  /// Simulated costs are bit-identical at every setting; 1 reproduces the
-  /// original serial engine's execution exactly.
-  uint32_t num_threads = 0;
-
-  /// The effective context: `exec` with the deprecated aliases folded in
-  /// (an explicit exec setting wins over the legacy fields).
-  obs::ExecContext Exec() const {
-    return exec.WithLegacy(num_threads, timeline);
-  }
 };
 
 /// What one application run cost — the paper's "computation time" metric

@@ -78,12 +78,21 @@ EdgeList GenerateHeavyTailed(const HeavyTailedOptions& options) {
       out_count = m * (1 + rng.NextBounded(options.burst_multiplier));
       if (out_count >= v) out_count = m;  // early vertices: too few targets
     }
+    // Dedup with the hash set, but emit in insertion order: unordered_set
+    // iteration order is implementation-defined, and the emit order decides
+    // which targets draw reciprocal-edge coin flips — iterating the set
+    // directly would make the generated graph depend on the standard
+    // library (the no-unordered-iteration lint rule).
     std::unordered_set<VertexId> chosen;
-    while (chosen.size() < out_count) {
+    std::vector<VertexId> chosen_order;
+    chosen_order.reserve(out_count);
+    while (chosen_order.size() < out_count) {
       VertexId target = pool[rng.NextBounded(pool.size())];
-      if (target != v) chosen.insert(target);
+      if (target != v && chosen.insert(target).second) {
+        chosen_order.push_back(target);
+      }
     }
-    for (VertexId target : chosen) {
+    for (VertexId target : chosen_order) {
       out.AddEdge(v, target);
       pool.push_back(v);
       pool.push_back(target);

@@ -66,8 +66,7 @@ partition::PartitionContext PartitionContextFor(const graph::EdgeList& edges,
 }
 
 obs::ExecContext ExecFor(const ExperimentSpec& spec, sim::Timeline* timeline) {
-  obs::ExecContext exec =
-      spec.exec.WithLegacy(spec.engine_threads, /*legacy_timeline=*/nullptr);
+  obs::ExecContext exec = spec.exec;
   // The cell's timeline is result-owned and selected via record_timeline;
   // it always wins over whatever exec.timeline held.
   exec.timeline = timeline;

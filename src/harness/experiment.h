@@ -58,17 +58,15 @@ struct ExperimentSpec {
   /// ExperimentResult, so it stays a flag here rather than moving into
   /// `exec` (which carries caller-owned sinks).
   bool record_timeline = false;
-  /// DEPRECATED alias for exec.num_threads (one-PR migration window).
-  /// Host threads driving this cell's engine and ingress internals
-  /// (0 = hardware default). Results are bit-identical at any setting (the
-  /// engine and ingest determinism contracts); the grid runner pins this
-  /// to 1 for cells it already runs concurrently.
-  uint32_t engine_threads = 0;
   /// Execution context for this cell: host threads plus caller-owned
   /// observability sinks (metrics registry, trace recorder, trace track).
-  /// exec.timeline is ignored here — use record_timeline, which samples
-  /// into the result's own timeline. Attaching sinks never changes
-  /// simulated results (the observability determinism contract).
+  /// exec.num_threads drives this cell's engine and ingress internals
+  /// (0 = hardware default); results are bit-identical at any setting (the
+  /// engine and ingest determinism contracts), and the grid runner pins it
+  /// to 1 for cells it already runs concurrently. exec.timeline is ignored
+  /// here — use record_timeline, which samples into the result's own
+  /// timeline. Attaching sinks never changes simulated results (the
+  /// observability determinism contract).
   obs::ExecContext exec;
 };
 

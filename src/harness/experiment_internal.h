@@ -24,9 +24,8 @@ namespace gdp::harness::internal {
 partition::PartitionContext PartitionContextFor(const graph::EdgeList& edges,
                                                 const ExperimentSpec& spec);
 
-/// The resolved execution context for one cell: spec.exec with the
-/// deprecated spec.engine_threads folded in and `timeline` (the result's
-/// timeline when spec.record_timeline, else null) attached.
+/// The resolved execution context for one cell: spec.exec with `timeline`
+/// (the result's timeline when spec.record_timeline, else null) attached.
 obs::ExecContext ExecFor(const ExperimentSpec& spec, sim::Timeline* timeline);
 
 /// Ingest options for one spec: master policy per engine, derived seed,

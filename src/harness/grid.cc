@@ -12,7 +12,7 @@ namespace gdp::harness {
 std::vector<ExperimentResult> RunGrid(const std::vector<GridCell>& cells,
                                       const GridOptions& options) {
   std::vector<ExperimentResult> results(cells.size());
-  const obs::ExecContext grid_exec = options.Exec();
+  const obs::ExecContext& grid_exec = options.exec;
   GDP_CHECK(grid_exec.timeline == nullptr);
   const uint32_t num_threads =
       grid_exec.num_threads != 0 ? grid_exec.num_threads
@@ -23,7 +23,9 @@ std::vector<ExperimentResult> RunGrid(const std::vector<GridCell>& cells,
     const GridCell& cell = cells[i];
     GDP_CHECK(cell.edges != nullptr);
     ExperimentSpec spec = cell.spec;
-    if (pin_cell_lanes && spec.engine_threads == 0) spec.engine_threads = 1;
+    if (pin_cell_lanes && spec.exec.num_threads == 0) {
+      spec.exec.num_threads = 1;
+    }
     // Hand the grid's shared sinks to the cell where the cell has none of
     // its own, and give every cell a private trace track so concurrent
     // cells keep consistent per-track span nesting.

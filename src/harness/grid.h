@@ -29,16 +29,9 @@ struct GridOptions {
   /// exec.timeline must be null — per-cell timelines live in each result
   /// (spec.record_timeline).
   obs::ExecContext exec;
-  /// DEPRECATED alias for exec.num_threads (one-PR migration window).
-  uint32_t num_threads = 0;
   /// Shared partition/plan artifact cache. nullptr = every cell ingests
   /// afresh (still parallel). The cache must outlive the RunGrid call.
   PartitionCache* cache = nullptr;
-
-  /// The effective context: `exec` with the deprecated alias folded in.
-  obs::ExecContext Exec() const {
-    return exec.WithLegacy(num_threads, /*legacy_timeline=*/nullptr);
-  }
 };
 
 /// Runs every cell of the grid, scheduling independent cells onto a
@@ -51,7 +44,7 @@ struct GridOptions {
 /// identical at any num_threads, with or without the cache, to the serial
 /// loop calling RunExperiment/RunIngressOnly per cell.
 ///
-/// Cells with spec.engine_threads == 0 are pinned to 1 engine/ingest lane
+/// Cells with spec.exec.num_threads == 0 are pinned to 1 engine/ingest lane
 /// when the grid itself runs multi-threaded (cell-level parallelism already
 /// saturates the host; nesting pools would oversubscribe it). Cells that
 /// record timelines bypass the cache but still run in parallel.

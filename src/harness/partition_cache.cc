@@ -30,7 +30,7 @@ const PartitionCache::Entry& PartitionCache::Get(const graph::EdgeList& edges,
   const IngressKey key = KeyFor(edges, spec);
   Slot* slot = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     std::unique_ptr<Slot>& entry = slots_[key];
     if (entry == nullptr) entry = std::make_unique<Slot>();
     slot = entry.get();
@@ -46,8 +46,7 @@ const PartitionCache::Entry& PartitionCache::Get(const graph::EdgeList& edges,
     // (and the artifact itself never depends on observers anyway). Thread
     // count is resolved per-spec; results are thread-count-invariant.
     obs::ExecContext build_exec;
-    build_exec.num_threads = spec.exec.WithLegacy(
-        spec.engine_threads, /*legacy_timeline=*/nullptr).num_threads;
+    build_exec.num_threads = spec.exec.num_threads;
     slot->entry.ingest = partition::IngestWithStrategy(
         edges, spec.strategy, internal::PartitionContextFor(edges, spec),
         cluster, internal::IngestOptionsFor(spec, build_exec));
@@ -67,7 +66,7 @@ const PartitionCache::Entry& PartitionCache::Get(const graph::EdgeList& edges,
 }
 
 size_t PartitionCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return slots_.size();
 }
 

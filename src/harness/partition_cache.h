@@ -6,6 +6,9 @@
 #include <memory>
 #include <mutex>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 #include "engine/plan_cache.h"
 #include "graph/edge_list.h"
 #include "harness/experiment.h"
@@ -19,7 +22,7 @@ namespace gdp::harness {
 /// specs with equal keys produce bit-identical IngestResults and
 /// post-ingress cluster states (the ingest determinism contract), so their
 /// cells can share one cached ingress artifact. Note what is *not* in the
-/// key: the application, iteration caps, engine_threads (results are
+/// key: the application, iteration caps, exec.num_threads (results are
 /// thread-count-invariant), and the engine kind itself — only its
 /// master-policy projection, so PowerGraph and a hypothetical engine with
 /// the same policy would share entries.
@@ -72,7 +75,8 @@ class PartitionCache {
 
   /// The cached ingress artifact for (edges, spec), running the ingress on
   /// first use. The caller must not outlive the cache with the reference.
-  const Entry& Get(const graph::EdgeList& edges, const ExperimentSpec& spec);
+  const Entry& Get(const graph::EdgeList& edges, const ExperimentSpec& spec)
+      GDP_EXCLUDES(mu_);
 
   /// Lookup accounting: hits (entry already built), misses (this call ran
   /// the ingress), bypasses (timeline-recording cells that skipped the
@@ -83,11 +87,7 @@ class PartitionCache {
   /// Records one cache bypass (a cell that deliberately ran fresh).
   void CountBypass() { bypasses_->Increment(); }
 
-  /// DEPRECATED alias for stats().hits (one-PR migration window).
-  uint64_t hits() const { return hits_->Value(); }
-  /// DEPRECATED alias for stats().misses (one-PR migration window).
-  uint64_t misses() const { return misses_->Value(); }
-  size_t size() const;
+  size_t size() const GDP_EXCLUDES(mu_);
 
  private:
   struct Slot {
@@ -95,8 +95,11 @@ class PartitionCache {
     Entry entry;
   };
 
-  mutable std::mutex mu_;
-  std::map<IngressKey, std::unique_ptr<Slot>> slots_;
+  /// Guards the slot map only. Slots themselves are stable once inserted;
+  /// building an entry happens outside the lock, serialized per slot by its
+  /// std::once_flag, so distinct keys ingest concurrently.
+  mutable util::Mutex mu_;
+  std::map<IngressKey, std::unique_ptr<Slot>> slots_ GDP_GUARDED_BY(mu_);
   // Registry-backed lookup counters (see stats()).
   obs::MetricsRegistry registry_;
   obs::Counter* hits_ = registry_.GetCounter("partition_cache.hits");

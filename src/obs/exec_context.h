@@ -45,18 +45,6 @@ struct ExecContext {
   bool HasObservers() const {
     return timeline != nullptr || metrics != nullptr || trace != nullptr;
   }
-
-  /// Resolves the deprecated per-options fields into this context: an
-  /// explicit `exec` setting wins; a legacy field only applies where the
-  /// context still holds its default. Lets call sites migrate mechanically
-  /// while both spellings coexist for one PR.
-  ExecContext WithLegacy(uint32_t legacy_num_threads,
-                         sim::Timeline* legacy_timeline) const {
-    ExecContext out = *this;
-    if (out.num_threads == 0) out.num_threads = legacy_num_threads;
-    if (out.timeline == nullptr) out.timeline = legacy_timeline;
-    return out;
-  }
 };
 
 }  // namespace gdp::obs

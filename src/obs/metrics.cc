@@ -25,7 +25,7 @@ size_t Counter::ShardIndex() {
 
 MetricsRegistry::Entry* MetricsRegistry::GetEntry(std::string_view name,
                                                   MetricKind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (auto it = index_.find(name); it != index_.end()) {
     GDP_CHECK(it->second->kind == kind)
         << "metric '" << it->second->name << "' already registered as "
@@ -66,7 +66,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
 }
 
 std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<Sample> out;
   out.reserve(entries_.size());
   for (const auto& entry : entries_) {
@@ -98,7 +98,7 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
   // sample list avoids holding them simultaneously.
   std::vector<const Entry*> src;
   {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    util::MutexLock lock(other.mu_);
     src.reserve(other.entries_.size());
     for (const auto& e : other.entries_) src.push_back(e.get());
   }
@@ -132,7 +132,7 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
 }
 
 size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return entries_.size();
 }
 

@@ -7,10 +7,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace gdp::obs {
 
@@ -156,13 +158,13 @@ class MetricsRegistry {
 
   /// The counter named `name`, registered on first use. Dies if the name
   /// is already registered as a different kind.
-  Counter* GetCounter(std::string_view name);
+  Counter* GetCounter(std::string_view name) GDP_EXCLUDES(mu_);
 
   /// The gauge named `name`, registered on first use.
-  Gauge* GetGauge(std::string_view name);
+  Gauge* GetGauge(std::string_view name) GDP_EXCLUDES(mu_);
 
   /// The histogram named `name`, registered on first use.
-  Histogram* GetHistogram(std::string_view name);
+  Histogram* GetHistogram(std::string_view name) GDP_EXCLUDES(mu_);
 
   /// One merged metric in a Snapshot().
   struct Sample {
@@ -180,17 +182,17 @@ class MetricsRegistry {
   /// Merged values of every metric, in registration order. Shard merge is
   /// integer summation, so the result is independent of which threads wrote
   /// and in what order.
-  std::vector<Sample> Snapshot() const;
+  std::vector<Sample> Snapshot() const GDP_EXCLUDES(mu_);
 
   /// Adds `other`'s metrics into this registry by name, registering names
   /// this registry has not seen in `other`'s registration order. Counters
   /// and histogram contents add; gauges take the maximum (the only
   /// commutative choice, so merging N per-worker registries is
   /// order-independent).
-  void MergeFrom(const MetricsRegistry& other);
+  void MergeFrom(const MetricsRegistry& other) GDP_EXCLUDES(mu_);
 
   /// Metrics registered so far.
-  size_t size() const;
+  size_t size() const GDP_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -202,11 +204,18 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry* GetEntry(std::string_view name, MetricKind kind);
+  /// Finds or registers the entry for `name`; takes the lock itself. The
+  /// returned pointer is stable (entries are never removed) and the metric
+  /// handles it exposes are internally thread-safe, so callers hold no lock.
+  Entry* GetEntry(std::string_view name, MetricKind kind) GDP_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Entry>> entries_;  // registration order
-  std::map<std::string, Entry*, std::less<>> index_;
+  /// Guards registration: the entry list and the name index. The metric
+  /// *values* are not guarded — Counter shards, Gauge, and Histogram are
+  /// lock-free atomics written through stable handles.
+  mutable util::Mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_
+      GDP_GUARDED_BY(mu_);  // registration order
+  std::map<std::string, Entry*, std::less<>> index_ GDP_GUARDED_BY(mu_);
 };
 
 }  // namespace gdp::obs

@@ -11,7 +11,7 @@ TraceRecorder::SpanId TraceRecorder::Begin(uint64_t track,
                                            std::string_view category,
                                            double sim_begin_seconds) {
   const double wall = WallNowMicros();
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   TraceSpan span;
   span.name = std::string(name);
   span.category = std::string(category);
@@ -25,14 +25,14 @@ TraceRecorder::SpanId TraceRecorder::Begin(uint64_t track,
 }
 
 void TraceRecorder::Arg(SpanId id, std::string_view key, int64_t value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   GDP_CHECK_LT(id, spans_.size()) << "Arg on unknown span";
   spans_[id].args.emplace_back(std::string(key), value);
 }
 
 void TraceRecorder::End(SpanId id, double sim_end_seconds) {
   const double wall = WallNowMicros();
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   GDP_CHECK_LT(id, spans_.size()) << "End on unknown span";
   TraceSpan& span = spans_[id];
   span.wall_dur_us = wall - span.wall_begin_us;
@@ -44,7 +44,7 @@ void TraceRecorder::End(SpanId id, double sim_end_seconds) {
 }
 
 std::vector<TraceSpan> TraceRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return spans_;
 }
 
@@ -58,7 +58,7 @@ std::vector<TraceSpan> TraceRecorder::SpansByTrack() const {
 }
 
 size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return spans_.size();
 }
 

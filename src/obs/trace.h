@@ -4,11 +4,13 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace gdp::obs {
 
@@ -61,24 +63,25 @@ class TraceRecorder {
   /// Opens a span on `track` at simulated time `sim_begin_seconds`. The
   /// span's depth is the number of currently-open spans on that track.
   SpanId Begin(uint64_t track, std::string_view name,
-               std::string_view category, double sim_begin_seconds);
+               std::string_view category, double sim_begin_seconds)
+      GDP_EXCLUDES(mu_);
 
   /// Attaches a deterministic integer arg to an open (or ended) span.
-  void Arg(SpanId id, std::string_view key, int64_t value);
+  void Arg(SpanId id, std::string_view key, int64_t value) GDP_EXCLUDES(mu_);
 
   /// Closes the span: stamps wall duration and the simulated end clock.
-  void End(SpanId id, double sim_end_seconds);
+  void End(SpanId id, double sim_end_seconds) GDP_EXCLUDES(mu_);
 
   /// A copy of all spans recorded so far, in begin order.
-  std::vector<TraceSpan> Snapshot() const;
+  std::vector<TraceSpan> Snapshot() const GDP_EXCLUDES(mu_);
 
   /// All spans grouped per track (ascending track id), begin order within
   /// each track — the canonical deterministic ordering even when tracks
   /// were driven concurrently.
-  std::vector<TraceSpan> SpansByTrack() const;
+  std::vector<TraceSpan> SpansByTrack() const GDP_EXCLUDES(mu_);
 
   /// Number of spans recorded (open + closed).
-  size_t size() const;
+  size_t size() const GDP_EXCLUDES(mu_);
 
  private:
   double WallNowMicros() const {
@@ -88,9 +91,11 @@ class TraceRecorder {
   }
 
   const std::chrono::steady_clock::time_point wall_origin_;
-  mutable std::mutex mu_;
-  std::vector<TraceSpan> spans_;
-  std::map<uint64_t, uint32_t> open_depth_;  // track -> currently open spans
+  /// Guards the span list and the per-track open-span depth counters.
+  mutable util::Mutex mu_;
+  std::vector<TraceSpan> spans_ GDP_GUARDED_BY(mu_);
+  std::map<uint64_t, uint32_t> open_depth_
+      GDP_GUARDED_BY(mu_);  // track -> currently open spans
 };
 
 /// RAII wrapper around one TraceRecorder span. Null-safe: constructed with

@@ -66,7 +66,7 @@ IngestResult Ingest(const graph::EdgeList& edges, Partitioner& partitioner,
   // Resolved execution context (thread count + observability sinks). The
   // sinks only read simulated state, so attaching them cannot perturb the
   // bit-identical determinism contract.
-  const obs::ExecContext exec = options.Exec();
+  const obs::ExecContext& exec = options.exec;
   sim::Timeline* const timeline = exec.timeline;
 
   uint32_t num_threads = exec.num_threads;

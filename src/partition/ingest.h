@@ -28,28 +28,16 @@ struct IngestOptions {
   /// dataset into one block per machine, §5.3).
   uint32_t num_loaders = 0;
   /// Execution context: host thread count driving the loaders/finalize
-  /// shards plus the observability sinks (timeline, metrics, trace). The
-  /// pipeline reads the resolved view via Exec(), never the deprecated
-  /// aliases directly.
+  /// shards plus the observability sinks (timeline, metrics, trace).
+  /// exec.num_threads == 0 means util::ThreadPool::DefaultThreadCount(),
+  /// clamped to the loader count; 1 runs everything inline. Any value
+  /// yields bit-identical results — see the determinism contract on
+  /// Ingest().
   obs::ExecContext exec;
-  /// DEPRECATED alias for exec.num_threads (one-PR migration window).
-  /// 0 means util::ThreadPool::DefaultThreadCount(), clamped to the loader
-  /// count; 1 runs everything inline. Any value yields bit-identical
-  /// results — see the determinism contract on Ingest().
-  uint32_t num_threads = 0;
   MasterPolicy master_policy = MasterPolicy::kRandomReplica;
   /// Honor Partitioner::PreferredMaster (used with kVertexHash).
   bool use_partitioner_master_preference = false;
   uint64_t seed = 0x9d2c5680;
-  /// DEPRECATED alias for exec.timeline (one-PR migration window).
-  /// Optional timeline to sample during ingress (Fig 6.3).
-  sim::Timeline* timeline = nullptr;
-
-  /// The effective context: `exec` with the deprecated aliases folded in
-  /// (an explicit exec setting wins over the legacy fields).
-  obs::ExecContext Exec() const {
-    return exec.WithLegacy(num_threads, timeline);
-  }
 };
 
 /// Per-pass ingress CPU cost (in Partitioner work ticks, 0.05 units each)
@@ -87,7 +75,7 @@ struct IngestResult {
 /// runs on machine l % num_machines. Greedy strategies therefore see only
 /// their own block's history, matching the systems' distributed ingress.
 ///
-/// Loaders execute on a thread pool (options.num_threads) for passes the
+/// Loaders execute on a thread pool (options.exec.num_threads) for passes the
 /// partitioner declares parallel-safe; the finalize (replica tables,
 /// masters, replica memory) is sharded too. Determinism contract: the
 /// produced DistributedGraph, IngressReport, and every per-machine cluster
@@ -104,7 +92,7 @@ IngestResult Ingest(const graph::EdgeList& edges, Partitioner& partitioner,
 /// per-loader scratch: one accumulator filled in loader order and flushed
 /// with the same canonical discipline. Deliberately implemented
 /// independently of Ingest() (tests/ingest_determinism_test.cc compares
-/// them field by field); options.num_threads is ignored.
+/// them field by field); options.exec.num_threads is ignored.
 IngestResult IngestReference(const graph::EdgeList& edges,
                              Partitioner& partitioner, sim::Cluster& cluster,
                              const IngestOptions& options = {});

@@ -36,7 +36,7 @@ IngestResult IngestReference(const graph::EdgeList& edges,
   // Same observability surface as the pipeline (exec.num_threads is
   // ignored — this oracle is serial by definition), so tests can compare
   // the oracle's spans/counters against the pipeline's bit for bit.
-  const obs::ExecContext exec = options.Exec();
+  const obs::ExecContext& exec = options.exec;
   sim::Timeline* const timeline = exec.timeline;
   std::vector<obs::Counter*> loader_ticks;
   obs::Counter* edges_moved_counter = nullptr;

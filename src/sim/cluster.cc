@@ -22,7 +22,8 @@ double Cluster::EndPhase() {
     machines_[m].ClosePhase(phase_times[m]);
   }
   double duration = slowest + cost_model_.barrier_latency_seconds;
-  now_seconds_ += duration;
+  // Serial barrier-point advance (EndPhase runs on one thread).
+  now_seconds_ += duration;  // NOLINT(no-float-accumulate)
   return duration;
 }
 
@@ -41,7 +42,8 @@ double Cluster::EndPhaseAsync() {
   double duration = machines_.empty()
                         ? 0.0
                         : total / static_cast<double>(machines_.size());
-  now_seconds_ += duration;
+  // Serial barrier-point advance (EndPhase runs on one thread).
+  now_seconds_ += duration;  // NOLINT(no-float-accumulate)
   return duration;
 }
 

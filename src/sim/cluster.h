@@ -20,7 +20,9 @@ class Machine {
   void ReceiveBytes(uint64_t bytes) { bytes_received_ += bytes; }
 
   /// Charges `work` abstract compute units to this machine's current phase.
-  void AddWork(double work) { phase_work_ += work; }
+  // Single-threaded charge path: parallel engines fold integer
+  // PhaseAccumulator lanes first and flush here in canonical machine order.
+  void AddWork(double work) { phase_work_ += work; }  // NOLINT(no-float-accumulate)
 
   /// Memory accounting with peak tracking.
   void Allocate(uint64_t bytes) {
@@ -48,7 +50,7 @@ class Machine {
     SendBytes(bytes);
   }
   void ClosePhase(double busy) {
-    busy_seconds_ += busy;
+    busy_seconds_ += busy;  // NOLINT(no-float-accumulate): serial barrier
     phase_work_ = 0;
     phase_bytes_ = 0;
   }
@@ -106,7 +108,8 @@ class Cluster {
   double EndPhaseAsync();
 
   /// Advances the clock without a barrier (e.g., purely local phases).
-  void AdvanceSeconds(double seconds) { now_seconds_ += seconds; }
+  // Serial barrier-point advance: one add per phase, fixed order.
+  void AdvanceSeconds(double seconds) { now_seconds_ += seconds; }  // NOLINT(no-float-accumulate)
 
   /// Aggregates.
   uint64_t TotalBytesSent() const;

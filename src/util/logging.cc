@@ -1,11 +1,27 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <string>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace gdp::util {
 
 namespace {
 std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+/// Serializes whole formatted lines onto stderr so concurrent GDP_LOG /
+/// check-failure emissions never interleave characters. Each message is
+/// formatted lock-free into its own ostringstream first; only the final
+/// write takes the lock.
+// Guards std::cerr — an external stream GDP_GUARDED_BY cannot name.
+Mutex g_stderr_mu;  // NOLINT(mutex-annotated)
+
+void EmitLine(const std::string& line) GDP_EXCLUDES(g_stderr_mu) {
+  MutexLock lock(g_stderr_mu);
+  std::cerr << line;
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -38,7 +54,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (level_ >= GetLogLevel()) {
     stream_ << "\n";
-    std::cerr << stream_.str();
+    EmitLine(stream_.str());
   }
 }
 
@@ -50,7 +66,7 @@ FatalLogMessage::FatalLogMessage(const char* file, int line,
 
 FatalLogMessage::~FatalLogMessage() {
   stream_ << "\n";
-  std::cerr << stream_.str();
+  EmitLine(stream_.str());
   std::abort();
 }
 

@@ -1,0 +1,79 @@
+#ifndef GDP_UTIL_MUTEX_H_
+#define GDP_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace gdp::util {
+
+/// An annotated wrapper over std::mutex: the capability type Clang Thread
+/// Safety Analysis reasons about. Every mutex in src/ must be a util::Mutex
+/// (or carry its own justification) so that GDP_GUARDED_BY fields are
+/// machine-checkable; the gdp_lint `mutex-annotated` rule enforces that each
+/// one is referenced by at least one annotation.
+///
+/// Prefer util::MutexLock for scoped sections; call Lock()/Unlock() directly
+/// only where the critical section spans a scope boundary (e.g. the thread
+/// pool's worker loop, which unlocks around the chunk run).
+class GDP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() GDP_ACQUIRE() { mu_.lock(); }
+  void Unlock() GDP_RELEASE() { mu_.unlock(); }
+  bool TryLock() GDP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  // The wrapped lock is the capability itself, not state it guards.
+  std::mutex mu_;  // NOLINT(mutex-annotated)
+};
+
+/// RAII lock for util::Mutex — the annotated std::lock_guard. Holds the
+/// mutex from construction to the end of the scope.
+class GDP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GDP_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() GDP_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable usable with util::Mutex. Wait() is annotated
+/// GDP_REQUIRES(mu): the analysis treats the capability as held across the
+/// wait (it is released and reacquired inside, invisible to the caller),
+/// which is exactly the contract guarded predicates need.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, and reacquires `mu`
+  /// before returning. Spurious wakeups are possible: callers loop on their
+  /// guarded predicate (`while (!ready_) cv_.Wait(mu_);`), which keeps the
+  /// predicate reads inside the caller's analyzed critical section.
+  void Wait(Mutex& mu) GDP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's Lock()
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gdp::util
+
+#endif  // GDP_UTIL_MUTEX_H_

@@ -1,0 +1,77 @@
+#ifndef GDP_UTIL_THREAD_ANNOTATIONS_H_
+#define GDP_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis attribute macros (GDP_ spellings of the
+// annotate-and-`-Wthread-safety` discipline). On Clang, every macro expands
+// to the corresponding `__attribute__` and the analysis proves, at compile
+// time, that each GDP_GUARDED_BY field is only touched with its mutex held
+// and that each GDP_REQUIRES function is only called under its locks. On
+// every other compiler the macros expand to nothing, so annotated code
+// builds everywhere while the contracts stay machine-checked wherever Clang
+// is available (tools/check.sh runs the `-Wthread-safety -Werror` leg when
+// it finds clang++; the gdp_lint `mutex-annotated` rule enforces that every
+// mutex member carries at least one annotation regardless of compiler).
+//
+// Annotation conventions for this repo are documented in DESIGN.md
+// section 11; the annotated mutex types these attach to live in
+// util/mutex.h.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define GDP_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define GDP_THREAD_ANNOTATION_(x)  // no-op on non-Clang compilers
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" by convention).
+#define GDP_CAPABILITY(x) GDP_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type that acquires a capability at construction and
+/// releases it at destruction (util::MutexLock).
+#define GDP_SCOPED_CAPABILITY GDP_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field annotation: the field may only be read or written with `x` held.
+#define GDP_GUARDED_BY(x) GDP_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer-field annotation: the *pointee* is guarded by `x` (the pointer
+/// itself may be read freely).
+#define GDP_PT_GUARDED_BY(x) GDP_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function annotation: callers must hold the listed capabilities.
+#define GDP_REQUIRES(...) \
+  GDP_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function annotation: callers must NOT hold the listed capabilities
+/// (deadlock guard for functions that acquire them internally).
+#define GDP_EXCLUDES(...) GDP_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function annotation: acquires the listed capabilities and holds them on
+/// return (Mutex::Lock, MutexLock's constructor).
+#define GDP_ACQUIRE(...) \
+  GDP_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function annotation: releases the listed capabilities (Mutex::Unlock,
+/// MutexLock's destructor).
+#define GDP_RELEASE(...) \
+  GDP_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capability iff the return value equals
+/// the first argument (Mutex::TryLock).
+#define GDP_TRY_ACQUIRE(...) \
+  GDP_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Declares lock acquisition order between capabilities (held-while-taking).
+#define GDP_ACQUIRED_AFTER(...) \
+  GDP_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define GDP_ACQUIRED_BEFORE(...) \
+  GDP_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+/// Function annotation: returns a reference to the capability guarding its
+/// result (accessors that expose a mutex for external locking).
+#define GDP_RETURN_CAPABILITY(x) GDP_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only where the
+/// locking pattern is correct but inexpressible, and say why in a comment.
+#define GDP_NO_THREAD_SAFETY_ANALYSIS \
+  GDP_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // GDP_UTIL_THREAD_ANNOTATIONS_H_

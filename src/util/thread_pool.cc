@@ -14,10 +14,10 @@ ThreadPool::ThreadPool(uint32_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_start_.notify_all();
+  cv_start_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -44,35 +44,36 @@ void ThreadPool::ParallelFor(
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_fn_ = &fn;
     job_end_ = num_chunks;
     job_next_.store(0, std::memory_order_relaxed);
     workers_active_ = static_cast<uint32_t>(workers_.size());
     ++generation_;
   }
-  cv_start_.notify_all();
+  cv_start_.NotifyAll();
   RunChunks(fn, num_chunks, /*lane=*/0);
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [this] { return workers_active_ == 0; });
+  MutexLock lock(mu_);
+  while (workers_active_ != 0) cv_done_.Wait(mu_);
   job_fn_ = nullptr;
 }
 
 void ThreadPool::WorkerLoop(uint32_t lane) {
   uint64_t seen_generation = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   for (;;) {
-    cv_start_.wait(lock, [this, seen_generation] {
-      return stop_ || generation_ != seen_generation;
-    });
-    if (stop_) return;
+    while (!stop_ && generation_ == seen_generation) cv_start_.Wait(mu_);
+    if (stop_) {
+      mu_.Unlock();
+      return;
+    }
     seen_generation = generation_;
     const std::function<void(uint64_t, uint32_t)>* fn = job_fn_;
     uint64_t end = job_end_;
-    lock.unlock();
+    mu_.Unlock();
     RunChunks(*fn, end, lane);
-    lock.lock();
-    if (--workers_active_ == 0) cv_done_.notify_all();
+    mu_.Lock();
+    if (--workers_active_ == 0) cv_done_.NotifyAll();
   }
 }
 

@@ -2,12 +2,13 @@
 #define GDP_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace gdp::util {
 
@@ -22,6 +23,11 @@ namespace gdp::util {
 ///
 /// A pool of 1 never spawns threads and runs every chunk inline — the
 /// num_threads=1 configuration is byte-for-byte the serial engine.
+///
+/// Locking: `mu_` guards the job hand-off state (generation counter, job
+/// pointer/extent, worker count, stop flag); chunk claiming is lock-free on
+/// `job_next_`. The annotations below are verified by Clang Thread Safety
+/// Analysis under tools/check.sh's `-Wthread-safety` leg.
 class ThreadPool {
  public:
   explicit ThreadPool(uint32_t num_threads);
@@ -39,7 +45,8 @@ class ThreadPool {
   /// claimed dynamically (fetch-add); lane < num_threads() identifies the
   /// executing lane. Blocks until every chunk has finished. Not reentrant.
   void ParallelFor(uint64_t num_chunks,
-                   const std::function<void(uint64_t, uint32_t)>& fn);
+                   const std::function<void(uint64_t, uint32_t)>& fn)
+      GDP_EXCLUDES(mu_);
 
   /// Default lane count for RunOptions::num_threads == 0: the hardware
   /// concurrency, clamped to [1, 16] so small simulated clusters on huge
@@ -47,22 +54,25 @@ class ThreadPool {
   static uint32_t DefaultThreadCount();
 
  private:
-  void WorkerLoop(uint32_t lane);
+  void WorkerLoop(uint32_t lane) GDP_EXCLUDES(mu_);
+  /// Claims and runs chunks until the job is exhausted. Called with `mu_`
+  /// released: the chunk counter is the only shared state it touches.
   void RunChunks(const std::function<void(uint64_t, uint32_t)>& fn,
-                 uint64_t end, uint32_t lane);
+                 uint64_t end, uint32_t lane) GDP_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  uint64_t generation_ = 0;       // bumped per ParallelFor, guarded by mu_
-  uint32_t workers_active_ = 0;   // workers still inside the current job
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_start_;
+  CondVar cv_done_;
+  uint64_t generation_ GDP_GUARDED_BY(mu_) = 0;  // bumped per ParallelFor
+  uint32_t workers_active_ GDP_GUARDED_BY(mu_) = 0;  // inside current job
+  bool stop_ GDP_GUARDED_BY(mu_) = false;
 
   // Current job (valid while generation_ is live).
-  const std::function<void(uint64_t, uint32_t)>* job_fn_ = nullptr;
-  uint64_t job_end_ = 0;
+  const std::function<void(uint64_t, uint32_t)>* job_fn_
+      GDP_GUARDED_BY(mu_) = nullptr;
+  uint64_t job_end_ GDP_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> job_next_{0};
 };
 

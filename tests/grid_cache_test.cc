@@ -146,8 +146,8 @@ TEST(PartitionCacheTest, CachedResultsMatchFreshForHybridStrategy) {
       harness::RunExperimentCached(edges, spec, cache);
   ExpectResultsIdentical(fresh, miss);
   ExpectResultsIdentical(fresh, hit);
-  EXPECT_EQ(cache.misses(), 1u);
-  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
 }
 
 TEST(PartitionCacheTest, IngressOnlyAndComputeCellsShareOneIngest) {
@@ -170,8 +170,8 @@ TEST(PartitionCacheTest, IngressOnlyAndComputeCellsShareOneIngest) {
       harness::RunExperimentCached(edges, spec, cache);
   ExpectResultsIdentical(fresh, cached);
   EXPECT_EQ(cache.size(), 1u);
-  EXPECT_EQ(cache.misses(), 1u);
-  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
 }
 
 TEST(PartitionCacheTest, KeySeparatesIngressInputsOnly) {
@@ -263,8 +263,8 @@ TEST(GridRunnerTest, ThreadCountAndCacheInvariant) {
       }
       if (cached) {
         // 3 strategies -> 3 ingests; the other 6 cells hit.
-        EXPECT_EQ(cache.misses(), 3u);
-        EXPECT_EQ(cache.hits(), cells.size() - 3);
+        EXPECT_EQ(cache.stats().misses, 3u);
+        EXPECT_EQ(cache.stats().hits, cells.size() - 3);
       }
     }
   }
@@ -304,7 +304,7 @@ TEST(GridRunnerTest, TimelineSpecsBypassCacheButStillRun) {
   ExpectResultsIdentical(fresh, got[0]);
   EXPECT_FALSE(got[0].timeline.samples().empty());
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
 }
 
 TEST(PlanCacheTest, ReturnsOnePlanPerShape) {

@@ -260,40 +260,26 @@ TEST(ObsChromeTraceTest, ValidatorRejectsNonTraceDocuments) {
 // ExecContext resolution.
 // ---------------------------------------------------------------------------
 
-TEST(ObsExecContextTest, WithLegacyPrefersExplicitSettings) {
-  sim::Timeline legacy_timeline;
-  sim::Timeline exec_timeline;
-
+TEST(ObsExecContextTest, HasObserversAndOptionsCarryExecDirectly) {
   ExecContext empty;
   EXPECT_FALSE(empty.HasObservers());
-  const ExecContext from_legacy = empty.WithLegacy(4, &legacy_timeline);
-  EXPECT_EQ(from_legacy.num_threads, 4u);
-  EXPECT_EQ(from_legacy.timeline, &legacy_timeline);
-  EXPECT_TRUE(from_legacy.HasObservers());
 
-  ExecContext explicit_ctx;
-  explicit_ctx.num_threads = 2;
-  explicit_ctx.timeline = &exec_timeline;
-  const ExecContext resolved = explicit_ctx.WithLegacy(4, &legacy_timeline);
-  EXPECT_EQ(resolved.num_threads, 2u);
-  EXPECT_EQ(resolved.timeline, &exec_timeline);
-}
-
-TEST(ObsExecContextTest, OptionsExecMergesDeprecatedAliases) {
   sim::Timeline timeline;
+  ExecContext ctx;
+  ctx.num_threads = 2;
+  ctx.timeline = &timeline;
+  EXPECT_TRUE(ctx.HasObservers());
+
+  // Options structs carry the context verbatim — no legacy fold-in.
   partition::IngestOptions ingest_options;
-  ingest_options.num_threads = 3;  // deprecated spelling
-  ingest_options.exec.timeline = &timeline;
-  const ExecContext ingest_exec = ingest_options.Exec();
-  EXPECT_EQ(ingest_exec.num_threads, 3u);
-  EXPECT_EQ(ingest_exec.timeline, &timeline);
+  ingest_options.exec = ctx;
+  EXPECT_EQ(ingest_options.exec.num_threads, 2u);
+  EXPECT_EQ(ingest_options.exec.timeline, &timeline);
 
   engine::RunOptions run_options;
-  run_options.timeline = &timeline;  // deprecated spelling
-  run_options.exec.num_threads = 5;
-  const ExecContext run_exec = run_options.Exec();
-  EXPECT_EQ(run_exec.num_threads, 5u);
-  EXPECT_EQ(run_exec.timeline, &timeline);
+  run_options.exec = ctx;
+  EXPECT_EQ(run_options.exec.num_threads, 2u);
+  EXPECT_EQ(run_options.exec.timeline, &timeline);
 }
 
 // ---------------------------------------------------------------------------
@@ -538,8 +524,8 @@ TEST(ObsCacheStatsTest, PartitionCacheCountsHitsMissesAndBypasses) {
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.bypasses, 1u);
   // The deprecated accessors alias the same counters.
-  EXPECT_EQ(cache.hits(), 1u);
-  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
 }
 
 /// The sim-cost span fields of every engine-phase span, keyed by track —

@@ -30,12 +30,46 @@
 //                  API surface; undocumented knobs there rot fastest.
 //                  Defaulted/deleted members and destructors are exempt.
 //
-// Comment and string contents are stripped before matching, so prose and
-// literals never trigger findings.
+// Determinism-contract rules (the simulated-cost determinism contract,
+// DESIGN.md sections 7-8 and 11):
+//   no-wall-clock  src/ except src/obs/: no steady_clock/system_clock/
+//                  high_resolution_clock::now(), time(), gettimeofday(), or
+//                  clock(). Wall time must never feed simulated results;
+//                  the sanctioned wall-clock fields live in the trace layer
+//                  (src/obs/) and bench/ timing is out of scope.
+//   no-float-accumulate
+//                  src/sim/ and the ingress cost-accounting paths
+//                  (src/partition/ingest*, src/partition/partitioner*): no
+//                  `+=` into a float/double *member* (trailing-underscore
+//                  name declared float/double in the file or its companion
+//                  header). Cross-phase cost state must accumulate in
+//                  integer ticks/bytes; float folds are order-sensitive, so
+//                  parallel schedules would produce different bits. Serial
+//                  reductions at barrier points carry NOLINT justifications.
+//   no-unordered-iteration
+//                  src/ only: no range-for over a std::unordered_map/set
+//                  declared in the same file. Hash-table iteration order is
+//                  implementation-defined; anything it feeds (simulated
+//                  costs, generated graphs, exported tables) loses
+//                  cross-platform reproducibility. Iterate a sorted or
+//                  insertion-ordered mirror instead.
+//   mutex-annotated
+//                  src/ only: every std::mutex / util::Mutex member must be
+//                  referenced by at least one GDP_GUARDED_BY /
+//                  GDP_PT_GUARDED_BY in the same file, so Clang thread
+//                  safety analysis (util/thread_annotations.h) has a
+//                  capability to check. A mutex guarding nothing it can
+//                  name (e.g. an external stream) carries a NOLINT.
+//
+// Comment and string contents — including raw string literals R"(...)" —
+// are stripped before matching, so prose and literals never trigger
+// findings.
 
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <regex>
 #include <set>
 #include <string>
@@ -59,16 +93,31 @@ struct FileText {
   std::vector<std::string> stripped;  // comments and string literals blanked
 };
 
-/// Blanks comments, string literals, and char literals, preserving line
-/// structure so findings carry real line numbers. `in_block` carries the
-/// /* ... */ state across lines.
-std::string StripLine(const std::string& line, bool& in_block) {
+/// Cross-line lexer state for StripLine: the /* ... */ block-comment flag
+/// and, when inside a raw string literal, the `)delim"` terminator being
+/// waited for (raw strings may span lines and may contain quotes).
+struct StripState {
+  bool in_block = false;
+  std::string raw_end;
+};
+
+/// Blanks comments, string literals (including raw strings), and char
+/// literals, preserving line structure so findings carry real line numbers.
+std::string StripLine(const std::string& line, StripState& state) {
   std::string out;
   out.reserve(line.size());
-  for (size_t i = 0; i < line.size(); ++i) {
-    if (in_block) {
+  size_t start = 0;
+  if (!state.raw_end.empty()) {
+    const size_t end = line.find(state.raw_end);
+    if (end == std::string::npos) return out;  // still inside the raw string
+    start = end + state.raw_end.size();
+    state.raw_end.clear();
+    out.push_back('"');  // closes the quote emitted at the opening R"
+  }
+  for (size_t i = start; i < line.size(); ++i) {
+    if (state.in_block) {
       if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-        in_block = false;
+        state.in_block = false;
         ++i;
       }
       continue;
@@ -76,9 +125,30 @@ std::string StripLine(const std::string& line, bool& in_block) {
     char c = line[i];
     if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
     if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-      in_block = true;
+      state.in_block = true;
       ++i;
       continue;
+    }
+    // Raw string literal R"delim( ... )delim": no escape processing, may
+    // contain quotes, may span lines. The leading R must not be the tail of
+    // an identifier.
+    if (c == 'R' && i + 1 < line.size() && line[i + 1] == '"' &&
+        (i == 0 || (!std::isalnum(static_cast<unsigned char>(line[i - 1])) &&
+                    line[i - 1] != '_'))) {
+      const size_t open = line.find('(', i + 2);
+      if (open != std::string::npos) {
+        const std::string closer =
+            ")" + line.substr(i + 2, open - (i + 2)) + "\"";
+        out.push_back('"');
+        const size_t end = line.find(closer, open + 1);
+        if (end == std::string::npos) {
+          state.raw_end = closer;
+          return out;
+        }
+        out.push_back('"');
+        i = end + closer.size() - 1;
+        continue;
+      }
     }
     if (c == '"' || c == '\'') {
       char quote = c;
@@ -106,10 +176,10 @@ FileText LoadFile(const fs::path& path, const fs::path& root) {
   f.rel = fs::relative(path, root).string();
   std::ifstream in(path);
   std::string line;
-  bool in_block = false;
+  StripState state;
   while (std::getline(in, line)) {
     f.raw.push_back(line);
-    f.stripped.push_back(StripLine(line, in_block));
+    f.stripped.push_back(StripLine(line, state));
   }
   return f;
 }
@@ -231,6 +301,147 @@ void CheckObsDocs(const FileText& f, std::vector<Finding>& findings) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Determinism-contract rules.
+// ---------------------------------------------------------------------------
+
+/// no-wall-clock: wall time must never feed simulated results. The trace
+/// layer (src/obs/) is the one sanctioned consumer — it stamps wall-clock
+/// span fields that are documented as non-simulated — and bench/ timing is
+/// outside the rule's scope entirely.
+void CheckWallClock(const FileText& f, std::vector<Finding>& findings) {
+  if (!InDir(f, "src") || f.rel.rfind("src/obs/", 0) == 0) return;
+  static const std::regex kClock(
+      R"(\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\()"
+      R"(|\btime\s*\(\s*(?:nullptr|NULL|0)?\s*\))"
+      R"(|\bgettimeofday\s*\()"
+      R"(|\bclock\s*\(\s*\))");
+  for (size_t i = 0; i < f.stripped.size(); ++i) {
+    if (HasNolint(f.raw[i])) continue;
+    if (std::regex_search(f.stripped[i], kClock)) {
+      findings.push_back(
+          {f.rel, i + 1, "no-wall-clock",
+           "wall-clock read in library code; simulated results must be a "
+           "pure function of inputs (wall time lives only in src/obs/ span "
+           "fields and bench/ harness timing)"});
+    }
+  }
+}
+
+/// Names of float/double members (trailing-underscore identifiers) declared
+/// in `f`, for no-float-accumulate. Members are the cross-phase accumulator
+/// state the determinism contract cares about; function-local reductions at
+/// barrier/query points are serial by construction and stay out of scope.
+std::set<std::string> CollectFloatMembers(const FileText& f) {
+  static const std::regex kDecl(
+      R"(\b(?:float|double|std::vector<\s*(?:float|double)\s*>)\s+(\w*_)\s*[;={])");
+  std::set<std::string> names;
+  for (const std::string& line : f.stripped) {
+    for (std::sregex_iterator it(line.begin(), line.end(), kDecl), end;
+         it != end; ++it) {
+      names.insert((*it)[1].str());
+    }
+  }
+  return names;
+}
+
+bool InIngressAccounting(const FileText& f) {
+  return InDir(f, "src/sim") ||
+         f.rel.rfind("src/partition/ingest", 0) == 0 ||
+         f.rel.rfind("src/partition/partitioner", 0) == 0;
+}
+
+/// no-float-accumulate: `+=` into a float/double member inside the
+/// simulated-cost accounting paths. Parallel schedules fold partial sums in
+/// different orders, and float addition is not associative — integer
+/// ticks/bytes (sim::PhaseAccumulator) are the determinism backbone.
+/// `float_members` is the union of the file's own declarations and its
+/// companion header's (cluster.cc accumulates members declared in
+/// cluster.h).
+void CheckFloatAccumulate(const FileText& f,
+                          const std::set<std::string>& float_members,
+                          std::vector<Finding>& findings) {
+  if (!InIngressAccounting(f)) return;
+  static const std::regex kAccum(R"((\w+_)\s*(?:\[[^\]]*\]\s*)?\+=)");
+  for (size_t i = 0; i < f.stripped.size(); ++i) {
+    if (HasNolint(f.raw[i])) continue;
+    const std::string& line = f.stripped[i];
+    for (std::sregex_iterator it(line.begin(), line.end(), kAccum), end;
+         it != end; ++it) {
+      if (float_members.count((*it)[1].str()) == 0) continue;
+      findings.push_back(
+          {f.rel, i + 1, "no-float-accumulate",
+           "float/double accumulation into member '" + (*it)[1].str() +
+               "' in simulated-cost accounting; accumulate integer "
+               "ticks/bytes (or NOLINT a serial barrier-point reduction)"});
+    }
+  }
+}
+
+/// no-unordered-iteration: range-for over a hash container declared in the
+/// same file. Iteration order is implementation-defined, so anything the
+/// loop feeds — simulated costs, generated graphs, exported tables — stops
+/// being reproducible across standard libraries.
+void CheckUnorderedIteration(const FileText& f,
+                             std::vector<Finding>& findings) {
+  if (!InDir(f, "src")) return;
+  static const std::regex kDecl(
+      R"(\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;]*>\s+(\w+)\s*[;({=])");
+  std::set<std::string> containers;
+  for (const std::string& line : f.stripped) {
+    for (std::sregex_iterator it(line.begin(), line.end(), kDecl), end;
+         it != end; ++it) {
+      containers.insert((*it)[1].str());
+    }
+  }
+  if (containers.empty()) return;
+  static const std::regex kRangeFor(R"(\bfor\s*\([^;)]*:\s*(\w+)\s*\))");
+  for (size_t i = 0; i < f.stripped.size(); ++i) {
+    if (HasNolint(f.raw[i])) continue;
+    std::smatch m;
+    if (std::regex_search(f.stripped[i], m, kRangeFor) &&
+        containers.count(m[1].str()) != 0) {
+      findings.push_back(
+          {f.rel, i + 1, "no-unordered-iteration",
+           "range-for over unordered container '" + m[1].str() +
+               "'; hash iteration order is implementation-defined — iterate "
+               "a sorted or insertion-ordered mirror instead"});
+    }
+  }
+}
+
+/// mutex-annotated: every mutex member in src/ must back at least one
+/// GDP_GUARDED_BY / GDP_PT_GUARDED_BY in the same file, so the Clang
+/// thread-safety leg has a capability to check and readers can see what the
+/// lock protects. util::MutexLock declarations do not match (the regex
+/// requires whitespace after the type).
+void CheckMutexAnnotated(const FileText& f, std::vector<Finding>& findings) {
+  if (!InDir(f, "src")) return;
+  static const std::regex kDecl(R"(\b(?:std::mutex|(?:util::)?Mutex)\s+(\w+)\s*[;={])");
+  for (size_t i = 0; i < f.stripped.size(); ++i) {
+    if (HasNolint(f.raw[i])) continue;
+    std::smatch m;
+    if (!std::regex_search(f.stripped[i], m, kDecl)) continue;
+    const std::string name = m[1].str();
+    bool annotated = false;
+    for (const std::string& line : f.stripped) {
+      if (line.find("GDP_GUARDED_BY(" + name + ")") != std::string::npos ||
+          line.find("GDP_PT_GUARDED_BY(" + name + ")") != std::string::npos) {
+        annotated = true;
+        break;
+      }
+    }
+    if (!annotated) {
+      findings.push_back(
+          {f.rel, i + 1, "mutex-annotated",
+           "mutex '" + name +
+               "' has no GDP_GUARDED_BY/GDP_PT_GUARDED_BY referencing it; "
+               "annotate the state it guards (util/thread_annotations.h) or "
+               "NOLINT with a justification"});
+    }
+  }
+}
+
 void CheckLines(const FileText& f, const std::set<std::string>& status_fns,
                 std::vector<Finding>& findings) {
   static const std::regex kRand(R"(\b(?:std::)?s?rand\s*\()");
@@ -336,10 +547,28 @@ int main(int argc, char** argv) {
 
   const std::set<std::string> status_fns = CollectStatusFunctions(files);
 
+  // Per-file float-member sets, unioned with the companion header's for .cc
+  // files (cluster.cc accumulates into members declared in cluster.h).
+  std::map<std::string, std::set<std::string>> float_members;
+  for (const FileText& f : files) float_members[f.rel] = CollectFloatMembers(f);
+
   std::vector<Finding> findings;
   for (const FileText& f : files) {
     CheckHeaderGuard(f, findings);
     CheckObsDocs(f, findings);
+    CheckWallClock(f, findings);
+    std::set<std::string> floats = float_members[f.rel];
+    if (f.path.extension() != ".h") {
+      const std::string header_rel =
+          fs::path(f.rel).replace_extension(".h").generic_string();
+      auto it = float_members.find(header_rel);
+      if (it != float_members.end()) {
+        floats.insert(it->second.begin(), it->second.end());
+      }
+    }
+    CheckFloatAccumulate(f, floats, findings);
+    CheckUnorderedIteration(f, findings);
+    CheckMutexAnnotated(f, findings);
     CheckLines(f, status_fns, findings);
   }
 
