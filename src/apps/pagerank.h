@@ -34,11 +34,22 @@ struct PageRankApp {
   bool InitiallyActive(graph::VertexId) const { return true; }
   Gather GatherInit() const { return 0.0; }
 
-  void GatherEdge(graph::VertexId, graph::VertexId nbr,
+  /// What every in-neighbor contributes regardless of the center: its rank
+  /// split over its out-degree. Exposing this (engine::HasGatherContribution)
+  /// lets the engine hoist the division out of the adjacency loop — the
+  /// cached value comes from the same IEEE division of the same operands,
+  /// so folds stay bit-identical to the per-edge path.
+  Gather GatherContribution(graph::VertexId nbr, const State& nbr_state,
+                            const engine::AppContext& ctx) const {
+    uint64_t out = ctx.OutDegree(nbr);
+    return nbr_state / static_cast<double>(out > 0 ? out : 1);
+  }
+
+  void GatherEdge(graph::VertexId center, graph::VertexId nbr,
                   const State& nbr_state, const engine::AppContext& ctx,
                   Gather* acc) const {
-    uint64_t out = ctx.OutDegree(nbr);
-    *acc += nbr_state / static_cast<double>(out > 0 ? out : 1);
+    (void)center;
+    *acc += GatherContribution(nbr, nbr_state, ctx);
   }
 
   bool Apply(graph::VertexId, const Gather& acc, bool has_gather,

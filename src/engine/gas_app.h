@@ -68,6 +68,31 @@ concept GasApplication = requires(App app, graph::VertexId v,
   { app.Apply(v, acc, true, ctx, &state) } -> std::same_as<bool>;
 };
 
+/// Optional plain-sum fast-path hook. An application may additionally
+/// provide
+///
+///   Gather GatherContribution(nbr, nbr_state, ctx)
+///
+/// — the value its GatherEdge folds for that neighbor, independent of the
+/// center. For such gathers the engine may precompute every vertex's
+/// contribution once per superstep (a strided, auto-vectorizable sweep)
+/// and fold cached values, hoisting the per-edge arithmetic (PageRank's
+/// division) out of the adjacency loop.
+///
+/// Contract: GatherEdge(center, nbr, s, ctx, &acc) must be observably
+/// `*acc += GatherContribution(nbr, s, ctx)`. The engine folds the cached
+/// value with the same `+=` in the same adjacency order, and the cached
+/// value is produced by the identical IEEE operations on the identical
+/// operands, so gather results stay bit-identical to the per-edge path.
+template <typename App>
+concept HasGatherContribution =
+    GasApplication<App> &&
+    requires(const App app, graph::VertexId v, typename App::State state,
+             AppContext ctx) {
+      { app.GatherContribution(v, state, ctx) }
+          -> std::same_as<typename App::Gather>;
+    };
+
 /// True when the application gathers from one direction and scatters to the
 /// other — the condition under which PowerLyra's hybrid engine can do local
 /// gathers for low-degree vertices.

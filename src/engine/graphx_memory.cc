@@ -30,13 +30,21 @@ MemoryPressureResult SimulateExecutorMemory(
 
   MemoryPressureResult result;
   // Cached footprint: edge partitions plus the vertex RDD with replicas.
-  uint64_t bytes = dg.edges.size() * sizes.edge_record;
+  // Each present vertex costs vertex_record + (replicas - 1) * mirror_record;
+  // summing present counts and replica counts separately keeps the loop
+  // branch-free (multiply by the presence flag instead of skipping), so it
+  // auto-vectorizes. Every present vertex has >= 1 replica, so
+  // replica_sum >= present_count and the subtraction cannot underflow.
+  uint64_t present_count = 0;
+  uint64_t replica_sum = 0;
   for (graph::VertexId v = 0; v < dg.num_vertices; ++v) {
-    if (!dg.present[v]) continue;
-    bytes += sizes.vertex_record +
-             static_cast<uint64_t>(dg.replicas.Count(v) - 1) *
-                 sizes.mirror_record;
+    const uint64_t present = dg.present[v] ? 1 : 0;
+    present_count += present;
+    replica_sum += present * dg.replicas.Count(v);
   }
+  const uint64_t bytes = dg.edges.size() * sizes.edge_record +
+                         present_count * sizes.vertex_record +
+                         (replica_sum - present_count) * sizes.mirror_record;
   result.graph_bytes = bytes;
 
   const double usable_per_executor =

@@ -1,5 +1,7 @@
 #include "engine/plan.h"
 
+#include <bit>
+
 #include "util/check.h"
 
 namespace gdp::engine {
@@ -35,17 +37,141 @@ MachineMasks MachineMasks::Build(const partition::DistributedGraph& dg) {
   return masks;
 }
 
+namespace {
+
+/// Writes the low `width` bits of `bits` at absolute bit `bit_pos` of a
+/// zero-initialized word array (the encode mirror of ReadPackedBits).
+inline void WritePackedBits(uint64_t* words, uint64_t bit_pos, uint32_t width,
+                            uint64_t bits) {
+  const uint64_t w = bit_pos >> 6;
+  const uint32_t off = static_cast<uint32_t>(bit_pos & 63);
+  words[w] |= bits << off;
+  if (off + width > 64) words[w + 1] |= bits >> (64 - off);
+}
+
+/// Zigzag-maps a signed delta onto a non-negative integer so small
+/// magnitudes of either sign pack into few bits.
+inline uint64_t ZigZag(int64_t delta) {
+  return (static_cast<uint64_t>(delta) << 1) ^
+         static_cast<uint64_t>(delta >> 63);
+}
+
+/// Folds a CSR's per-entry machine tags into per-vertex (machine, count)
+/// runs, ascending by machine. Counts are whole adjacency events (the
+/// engine charges 4 quarter-units per event), and integer accounting is
+/// order-free, so this regrouping cannot change any flushed cost.
+void BuildAccountingRuns(const std::vector<uint64_t>& offsets,
+                         const std::vector<uint8_t>& machines,
+                         uint32_t num_machines,
+                         std::vector<uint64_t>* run_offsets,
+                         std::vector<uint32_t>* runs) {
+  const size_t n = offsets.size() - 1;
+  run_offsets->assign(n + 1, 0);
+  runs->clear();
+  runs->reserve(n);  // >= 1 run per non-isolated vertex
+  std::vector<uint64_t> counts(num_machines == 0 ? 1 : num_machines, 0);
+  for (size_t v = 0; v < n; ++v) {
+    for (uint64_t s = offsets[v]; s < offsets[v + 1]; ++s) {
+      ++counts[machines[s]];
+    }
+    for (uint32_t m = 0; m < counts.size(); ++m) {
+      uint64_t count = counts[m];
+      counts[m] = 0;
+      while (count > 0) {
+        const uint32_t chunk = static_cast<uint32_t>(
+            count < ExecutionPlan::kRunCountMask ? count
+                                                 : ExecutionPlan::kRunCountMask);
+        runs->push_back((m << ExecutionPlan::kRunCountBits) | chunk);
+        count -= chunk;
+      }
+    }
+    (*run_offsets)[v + 1] = runs->size();
+  }
+}
+
+/// Bit-packs a CSR's neighbor ids into per-vertex zigzag-delta blocks at a
+/// fixed per-vertex width. Entries keep their CSR order (original edge
+/// order — the gather determinism contract); the first delta is taken from
+/// the center id so decode needs no side table.
+void CompressBlocks(const std::vector<uint64_t>& offsets,
+                    const std::vector<graph::VertexId>& nbrs,
+                    std::vector<uint64_t>* blob,
+                    std::vector<uint64_t>* block_bits,
+                    std::vector<uint8_t>* block_width) {
+  const size_t n = offsets.size() - 1;
+  block_bits->assign(n, 0);
+  block_width->assign(n, 1);
+  uint64_t total_bits = 0;
+  for (size_t v = 0; v < n; ++v) {
+    const uint64_t count = offsets[v + 1] - offsets[v];
+    uint32_t width = 1;
+    int64_t prev = static_cast<int64_t>(v);
+    for (uint64_t s = offsets[v]; s < offsets[v + 1]; ++s) {
+      const int64_t id = static_cast<int64_t>(nbrs[s]);
+      const uint32_t need =
+          static_cast<uint32_t>(std::bit_width(ZigZag(id - prev)));
+      width = need > width ? need : width;
+      prev = id;
+    }
+    (*block_width)[v] = static_cast<uint8_t>(width);
+    (*block_bits)[v] = total_bits;
+    total_bits += count * width;
+  }
+  // One padding word past the last encoded bit: the two-word decode load
+  // (ReadPackedBits) may touch words[w + 1] on a straddle.
+  blob->assign((total_bits + 63) / 64 + 1, 0);
+  for (size_t v = 0; v < n; ++v) {
+    uint64_t pos = (*block_bits)[v];
+    const uint32_t width = (*block_width)[v];
+    int64_t prev = static_cast<int64_t>(v);
+    for (uint64_t s = offsets[v]; s < offsets[v + 1]; ++s) {
+      const int64_t id = static_cast<int64_t>(nbrs[s]);
+      WritePackedBits(blob->data(), pos, width, ZigZag(id - prev));
+      pos += width;
+      prev = id;
+    }
+  }
+}
+
+}  // namespace
+
 }  // namespace internal
+
+const char* PlanLayoutName(PlanLayout layout) {
+  switch (layout) {
+    case PlanLayout::kUncompressed:
+      return "uncompressed";
+    case PlanLayout::kCompressed:
+      return "compressed";
+  }
+  return "?";
+}
+
+uint64_t ExecutionPlan::AdjacencyBytes() const {
+  uint64_t bytes = 0;
+  bytes += gather_nbr.size() * sizeof(graph::VertexId);
+  bytes += gather_machine.size() * sizeof(uint8_t);
+  bytes += scatter_target.size() * sizeof(graph::VertexId);
+  bytes += scatter_machine.size() * sizeof(uint8_t);
+  bytes += gather_blob.size() * sizeof(uint64_t);
+  bytes += gather_block_bits.size() * sizeof(uint64_t);
+  bytes += gather_block_width.size() * sizeof(uint8_t);
+  bytes += scatter_blob.size() * sizeof(uint64_t);
+  bytes += scatter_block_bits.size() * sizeof(uint64_t);
+  bytes += scatter_block_width.size() * sizeof(uint8_t);
+  return bytes;
+}
 
 ExecutionPlan ExecutionPlan::Build(const partition::DistributedGraph& dg,
                                    EdgeDirection gather_dir,
                                    EdgeDirection scatter_dir,
-                                   bool graphx_counts) {
+                                   bool graphx_counts, PlanLayout layout) {
   GDP_CHECK_LE(dg.num_machines, 64u);
   ExecutionPlan plan;
   plan.dg = &dg;
   plan.gather_dir = gather_dir;
   plan.scatter_dir = scatter_dir;
+  plan.layout = layout;
 
   const graph::VertexId n = dg.num_vertices;
   const uint64_t num_edges = dg.edges.size();
@@ -76,24 +202,23 @@ ExecutionPlan ExecutionPlan::Build(const partition::DistributedGraph& dg,
   const bool scatter_in = IncludesIn(scatter_dir);
   const bool scatter_out = IncludesOut(scatter_dir);
 
-  // Counting pass for both CSRs. Gather: center e.dst folds e.src when the
-  // app gathers over in-edges, center e.src folds e.dst for out-edges.
-  // Scatter: signaled e.src wakes e.dst over out-edges, signaled e.dst
-  // wakes e.src over in-edges.
-  std::vector<uint64_t> gather_count(n, 0);
-  std::vector<uint64_t> scatter_count(n, 0);
-  for (const graph::Edge& e : dg.edges) {
-    if (gather_in) ++gather_count[e.dst];
-    if (gather_out) ++gather_count[e.src];
-    if (scatter_out) ++scatter_count[e.src];
-    if (scatter_in) ++scatter_count[e.dst];
-  }
-
+  // CSR sizing. A center's gather entry count is gi * in_degree +
+  // go * out_degree (and symmetrically for scatter) — the degree caches
+  // already hold the per-direction histogram, so the old per-edge counting
+  // scan collapses to a branch-free multiply-add sweep over vertices.
+  const std::vector<uint64_t>& out_deg = plan.out_degrees();
+  const std::vector<uint64_t>& in_deg = plan.in_degrees();
+  const uint64_t gi = gather_in ? 1 : 0;
+  const uint64_t go = gather_out ? 1 : 0;
+  const uint64_t si = scatter_in ? 1 : 0;
+  const uint64_t so = scatter_out ? 1 : 0;
   plan.gather_offsets.assign(n + 1, 0);
   plan.scatter_offsets.assign(n + 1, 0);
   for (graph::VertexId v = 0; v < n; ++v) {
-    plan.gather_offsets[v + 1] = plan.gather_offsets[v] + gather_count[v];
-    plan.scatter_offsets[v + 1] = plan.scatter_offsets[v] + scatter_count[v];
+    plan.gather_offsets[v + 1] =
+        plan.gather_offsets[v] + gi * in_deg[v] + go * out_deg[v];
+    plan.scatter_offsets[v + 1] =
+        plan.scatter_offsets[v] + si * in_deg[v] + so * out_deg[v];
   }
   plan.gather_nbr.resize(plan.gather_offsets[n]);
   plan.gather_machine.resize(plan.gather_offsets[n]);
@@ -132,6 +257,31 @@ ExecutionPlan ExecutionPlan::Build(const partition::DistributedGraph& dg,
       plan.scatter_target[slot] = e.src;
       plan.scatter_machine[slot] = m;
     }
+  }
+
+  // Accounting runs come from the per-entry machine tags; after this the
+  // tags themselves are only needed by the uncompressed layout (the legacy
+  // per-edge kernels).
+  internal::BuildAccountingRuns(plan.gather_offsets, plan.gather_machine,
+                                dg.num_machines, &plan.gather_run_offsets,
+                                &plan.gather_runs);
+  internal::BuildAccountingRuns(plan.scatter_offsets, plan.scatter_machine,
+                                dg.num_machines, &plan.scatter_run_offsets,
+                                &plan.scatter_runs);
+
+  if (layout == PlanLayout::kCompressed) {
+    internal::CompressBlocks(plan.gather_offsets, plan.gather_nbr,
+                             &plan.gather_blob, &plan.gather_block_bits,
+                             &plan.gather_block_width);
+    internal::CompressBlocks(plan.scatter_offsets, plan.scatter_target,
+                             &plan.scatter_blob, &plan.scatter_block_bits,
+                             &plan.scatter_block_width);
+    // Release the CSR arrays: the compressed engine path never touches
+    // them, and keeping them would defeat the memory shrink.
+    plan.gather_nbr = {};
+    plan.gather_machine = {};
+    plan.scatter_target = {};
+    plan.scatter_machine = {};
   }
 
   if (graphx_counts) {

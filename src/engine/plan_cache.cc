@@ -4,12 +4,12 @@ namespace gdp::engine {
 
 const ExecutionPlan& PlanCache::Get(EdgeDirection gather_dir,
                                     EdgeDirection scatter_dir,
-                                    bool graphx_counts) {
+                                    bool graphx_counts, PlanLayout layout) {
   Slot* slot = nullptr;
   {
     util::MutexLock lock(mu_);
     std::unique_ptr<Slot>& entry =
-        slots_[Key{gather_dir, scatter_dir, graphx_counts}];
+        slots_[Key{gather_dir, scatter_dir, graphx_counts, layout}];
     if (entry == nullptr) {
       entry = std::make_unique<Slot>();
       misses_->Increment();
@@ -21,8 +21,8 @@ const ExecutionPlan& PlanCache::Get(EdgeDirection gather_dir,
   // Build outside the map lock so unrelated keys construct concurrently;
   // call_once serializes callers racing on the *same* key.
   std::call_once(slot->once, [&] {
-    slot->plan =
-        ExecutionPlan::Build(*dg_, gather_dir, scatter_dir, graphx_counts);
+    slot->plan = ExecutionPlan::Build(*dg_, gather_dir, scatter_dir,
+                                      graphx_counts, layout);
   });
   return slot->plan;
 }

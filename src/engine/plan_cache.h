@@ -19,9 +19,9 @@ namespace gdp::engine {
 /// plan.cc rebuilds both per-direction CSRs for every run of every
 /// application on the same partition; across a grid of N applications that
 /// is N rebuilds of identical structures. A PlanCache builds each distinct
-/// (gather_dir, scatter_dir, graphx_counts) plan once and hands out const
-/// references; plans are immutable after Build (plan.h), so one cached
-/// plan can back any number of concurrent engine runs.
+/// (gather_dir, scatter_dir, graphx_counts, layout) plan once and hands out
+/// const references; plans are immutable after Build (plan.h), so one
+/// cached plan can back any number of concurrent engine runs.
 ///
 /// Thread-safety: Get() may be called concurrently; the first caller for a
 /// key builds the plan, others block until it is ready. Entries are never
@@ -34,9 +34,11 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
-  /// The plan for the given directions, building it on first use.
+  /// The plan for the given directions and adjacency layout, building it
+  /// on first use.
   const ExecutionPlan& Get(EdgeDirection gather_dir,
-                           EdgeDirection scatter_dir, bool graphx_counts)
+                           EdgeDirection scatter_dir, bool graphx_counts,
+                           PlanLayout layout = PlanLayout::kUncompressed)
       GDP_EXCLUDES(mu_);
 
   const partition::DistributedGraph& dg() const { return *dg_; }
@@ -54,7 +56,7 @@ class PlanCache {
     std::once_flag once;
     ExecutionPlan plan;
   };
-  using Key = std::tuple<EdgeDirection, EdgeDirection, bool>;
+  using Key = std::tuple<EdgeDirection, EdgeDirection, bool, PlanLayout>;
 
   const partition::DistributedGraph* dg_;
   /// Guards the slot map only; plan construction runs outside the lock,

@@ -131,8 +131,8 @@ namespace {
 
 /// Runs one GAS application, on a cached plan when `plans` is provided and
 /// on a freshly built one otherwise. The two paths are bit-identical: a
-/// plan is a pure function of (dg, directions, graphx flag), and the
-/// direction pair is pinned by the App type.
+/// plan is a pure function of (dg, directions, graphx flag, layout), and
+/// the direction pair is pinned by the App type.
 template <typename App>
 engine::GasRunResult<App> RunGas(const ExperimentSpec& spec,
                                  const partition::DistributedGraph& dg,
@@ -141,12 +141,14 @@ engine::GasRunResult<App> RunGas(const ExperimentSpec& spec,
                                  const engine::RunOptions& options) {
   const bool graphx = spec.engine == engine::EngineKind::kGraphXPregel;
   if (plans != nullptr) {
-    const engine::ExecutionPlan& plan =
-        plans->Get(App::kGatherDir, App::kScatterDir, graphx);
+    const engine::ExecutionPlan& plan = plans->Get(
+        App::kGatherDir, App::kScatterDir, graphx, spec.plan_layout);
     return engine::RunGasEngine(spec.engine, plan, cluster, std::move(app),
                                 options);
   }
-  return engine::RunGasEngine(spec.engine, dg, cluster, std::move(app),
+  const engine::ExecutionPlan plan = engine::ExecutionPlan::Build(
+      dg, App::kGatherDir, App::kScatterDir, graphx, spec.plan_layout);
+  return engine::RunGasEngine(spec.engine, plan, cluster, std::move(app),
                               options);
 }
 
@@ -200,15 +202,21 @@ void RunApp(const ExperimentSpec& spec,
     case AppKind::kKCore: {
       engine::RunOptions opts = run_options;
       opts.max_iterations = std::max(opts.max_iterations, 1000u);
-      apps::KCoreResult r =
-          plans != nullptr
-              ? apps::KCoreDecompose(
-                    spec.engine,
-                    plans->Get(apps::KCoreApp::kGatherDir,
-                               apps::KCoreApp::kScatterDir, graphx),
-                    cluster, spec.kcore_kmin, spec.kcore_kmax, opts)
-              : apps::KCoreDecompose(spec.engine, dg, cluster,
-                                     spec.kcore_kmin, spec.kcore_kmax, opts);
+      apps::KCoreResult r = [&] {
+        if (plans != nullptr) {
+          return apps::KCoreDecompose(
+              spec.engine,
+              plans->Get(apps::KCoreApp::kGatherDir,
+                         apps::KCoreApp::kScatterDir, graphx,
+                         spec.plan_layout),
+              cluster, spec.kcore_kmin, spec.kcore_kmax, opts);
+        }
+        const engine::ExecutionPlan plan = engine::ExecutionPlan::Build(
+            dg, apps::KCoreApp::kGatherDir, apps::KCoreApp::kScatterDir,
+            graphx, spec.plan_layout);
+        return apps::KCoreDecompose(spec.engine, plan, cluster,
+                                    spec.kcore_kmin, spec.kcore_kmax, opts);
+      }();
       out->compute = r.stats;
       break;
     }
@@ -228,14 +236,20 @@ void RunApp(const ExperimentSpec& spec,
       break;
     }
     case AppKind::kTriangles: {
-      apps::TriangleCountResult r =
-          plans != nullptr
-              ? apps::CountTriangles(
-                    spec.engine,
-                    plans->Get(apps::NeighborListApp::kGatherDir,
-                               apps::NeighborListApp::kScatterDir, graphx),
-                    cluster, run_options)
-              : apps::CountTriangles(spec.engine, dg, cluster, run_options);
+      apps::TriangleCountResult r = [&] {
+        if (plans != nullptr) {
+          return apps::CountTriangles(
+              spec.engine,
+              plans->Get(apps::NeighborListApp::kGatherDir,
+                         apps::NeighborListApp::kScatterDir, graphx,
+                         spec.plan_layout),
+              cluster, run_options);
+        }
+        const engine::ExecutionPlan plan = engine::ExecutionPlan::Build(
+            dg, apps::NeighborListApp::kGatherDir,
+            apps::NeighborListApp::kScatterDir, graphx, spec.plan_layout);
+        return apps::CountTriangles(spec.engine, plan, cluster, run_options);
+      }();
       out->compute = r.stats;
       break;
     }

@@ -5,12 +5,15 @@
 namespace gdp::obs {
 
 util::Table MetricsTable(const MetricsRegistry& registry) {
-  util::Table table({"metric", "kind", "value", "sum", "max"});
+  // New columns go at the end: downstream consumers index the first five.
+  util::Table table({"metric", "kind", "value", "sum", "max", "p50", "p99"});
   for (const MetricsRegistry::Sample& s : registry.Snapshot()) {
     const bool hist = s.kind == MetricKind::kHistogram;
     table.AddRow({s.name, MetricKindName(s.kind), std::to_string(s.value),
                   hist ? std::to_string(s.sum) : std::string("-"),
-                  hist ? std::to_string(s.max) : std::string("-")});
+                  hist ? std::to_string(s.max) : std::string("-"),
+                  hist ? std::to_string(s.p50) : std::string("-"),
+                  hist ? std::to_string(s.p99) : std::string("-")});
   }
   return table;
 }

@@ -84,6 +84,8 @@ std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
         s.value = static_cast<int64_t>(entry->histogram->Count());
         s.sum = entry->histogram->Sum();
         s.max = entry->histogram->Max();
+        s.p50 = entry->histogram->ValueAtQuantile(0.5);
+        s.p99 = entry->histogram->ValueAtQuantile(0.99);
         break;
     }
     out.push_back(std::move(s));

@@ -1,9 +1,11 @@
 #ifndef GDP_OBS_METRICS_H_
 #define GDP_OBS_METRICS_H_
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -121,6 +123,29 @@ class Histogram {
     return buckets_[b].load(std::memory_order_relaxed);
   }
 
+  /// Upper bound of the bucket holding the q-quantile sample (q in [0, 1]):
+  /// the smallest power-of-two bucket boundary such that at least
+  /// ceil(q * count) samples fall at or below it. Resolution is the bucket
+  /// width (one bit of the value); 0 when the histogram is empty. Walks a
+  /// relaxed snapshot of the buckets, so a concurrent Observe may or may
+  /// not be included — fine for the reporting paths this serves.
+  uint64_t ValueAtQuantile(double q) const {
+    const uint64_t total = Count();
+    if (total == 0) return 0;
+    q = std::min(1.0, std::max(0.0, q));
+    const uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      seen += BucketCount(b);
+      if (seen >= rank) {
+        // Bucket b holds values with bit_width b: [2^(b-1), 2^b).
+        return b == 0 ? 0 : (b >= 64 ? ~0ULL : (1ULL << b) - 1);
+      }
+    }
+    return Max();
+  }
+
  private:
   friend class MetricsRegistry;
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
@@ -175,6 +200,10 @@ class MetricsRegistry {
     /// Histogram only: sum and max of observed samples.
     uint64_t sum = 0;
     uint64_t max = 0;
+    /// Histogram only: bucket-resolution quantiles
+    /// (Histogram::ValueAtQuantile at 0.5 / 0.99).
+    uint64_t p50 = 0;
+    uint64_t p99 = 0;
 
     friend bool operator==(const Sample&, const Sample&) = default;
   };

@@ -55,6 +55,46 @@ class DenseBitset {
     word.fetch_or(1ULL << (i & 63), std::memory_order_relaxed);
   }
 
+  /// Concurrent-safe bulk set: ORs a whole word of bits into word `w` with
+  /// one relaxed fetch_or instead of 64 single-bit RMWs. Bits beyond size()
+  /// in the final word are masked off, so the class invariant (tail bits
+  /// stay zero) holds for any input.
+  void SetAtomicWord(uint64_t w, uint64_t bits) {
+    GDP_DCHECK_LT(w, words_.size());
+    bits &= TailMask(w);
+    if (bits == 0) return;
+    std::atomic_ref<uint64_t> word(words_[w]);
+    word.fetch_or(bits, std::memory_order_relaxed);
+  }
+
+  /// Word w of the backing array (bit i lives in word i >> 6).
+  uint64_t Word(uint64_t w) const {
+    GDP_DCHECK_LT(w, words_.size());
+    return words_[w];
+  }
+
+  /// Single-writer word-parallel union: this |= other. Sizes must match.
+  /// 64 bits per iteration with no data dependence between words, so the
+  /// loop auto-vectorizes — the dense-frontier merge primitive.
+  void OrWith(const DenseBitset& other) {
+    GDP_DCHECK_EQ(size_, other.size_);
+    const uint64_t* __restrict src = other.words_.data();
+    uint64_t* __restrict dst = words_.data();
+    const uint64_t nw = words_.size();
+    for (uint64_t w = 0; w < nw; ++w) dst[w] |= src[w];
+  }
+
+  /// Single-writer word-parallel intersection: this &= other. Sizes must
+  /// match. Used to mask a frontier against a filter set (e.g. still-alive
+  /// vertices) without touching one bit at a time.
+  void AndWith(const DenseBitset& other) {
+    GDP_DCHECK_EQ(size_, other.size_);
+    const uint64_t* __restrict src = other.words_.data();
+    uint64_t* __restrict dst = words_.data();
+    const uint64_t nw = words_.size();
+    for (uint64_t w = 0; w < nw; ++w) dst[w] &= src[w];
+  }
+
   void ClearAll() {
     if (!words_.empty()) {
       std::memset(words_.data(), 0, words_.size() * sizeof(uint64_t));
@@ -64,6 +104,17 @@ class DenseBitset {
   uint64_t CountSet() const {
     uint64_t count = 0;
     for (uint64_t w : words_) count += std::popcount(w);
+    return count;
+  }
+
+  /// Set bits whose word lies in [word_begin, word_end): one popcount per
+  /// word, so block-sharded callers can size work without visiting bits.
+  uint64_t CountSetInWordRange(uint64_t word_begin, uint64_t word_end) const {
+    GDP_DCHECK_LE(word_end, words_.size());
+    uint64_t count = 0;
+    for (uint64_t w = word_begin; w < word_end; ++w) {
+      count += std::popcount(words_[w]);
+    }
     return count;
   }
 
@@ -104,6 +155,14 @@ class DenseBitset {
   }
 
  private:
+  /// Valid-bit mask for word w: all-ones except in the last word of a size
+  /// not divisible by 64, where only the low size%64 bits are real.
+  uint64_t TailMask(uint64_t w) const {
+    const uint64_t tail = size_ & 63;
+    if (tail == 0 || w + 1 != words_.size()) return ~0ULL;
+    return (1ULL << tail) - 1;
+  }
+
   uint64_t size_ = 0;
   std::vector<uint64_t> words_;
 };

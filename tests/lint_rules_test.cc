@@ -317,6 +317,54 @@ struct External {
 }
 
 // ---------------------------------------------------------------------------
+// no-per-edge-accounting
+// ---------------------------------------------------------------------------
+
+TEST(LintNoPerEdgeAccounting, FlagsPerEntryMachineChargesInEngine) {
+  LintFixture fx;
+  fx.AddFile("src/engine/hot_loop.h", Header(R"(
+inline void Gather(Acc& acc, const Plan& plan, uint64_t b, uint64_t e) {
+  for (uint64_t s = b; s < e; ++s) {
+    acc.AddWorkUnits(plan.gather_machine[s], 4);
+  }
+}
+)"));
+  const auto r = fx.Run();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_TRUE(HasFinding(r, "no-per-edge-accounting", "hot_loop.h:5"))
+      << r.output;
+}
+
+TEST(LintNoPerEdgeAccounting, AllowsRunTablesOtherDirsAndNolint) {
+  LintFixture fx;
+  // Batched accounting through the plan's run tables: the machine argument
+  // is RunMachine(run), not a per-entry array index.
+  fx.AddFile("src/engine/batched.h", Header(R"(
+inline void Charge(Acc& acc, const Plan& plan, uint64_t v) {
+  for (uint64_t r = plan.run_offsets[v]; r < plan.run_offsets[v + 1]; ++r) {
+    const uint32_t run = plan.runs[r];
+    acc.AddWorkUnits(Plan::RunMachine(run), 4ULL * Plan::RunCount(run));
+  }
+}
+)"));
+  // Outside src/engine/ the rule does not apply (sim's accumulator tests
+  // exercise the raw call shape deliberately).
+  fx.AddFile("src/sim/accum_use.h", Header(R"(
+inline void Exercise(Acc& acc, const Tags& edge_machine, uint64_t s) {
+  acc.AddWorkUnits(edge_machine[s], 4);
+}
+)"));
+  // The preserved per-edge baseline carries a NOLINT justification.
+  fx.AddFile("src/engine/baseline.h", Header(R"(
+inline void Baseline(Acc& acc, const Plan& plan, uint64_t s) {
+  acc.AddWorkUnits(plan.gather_machine[s], 4);  // NOLINT(no-per-edge-accounting)
+}
+)"));
+  const auto r = fx.Run();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// ---------------------------------------------------------------------------
 // Raw string literals must not leak into rule matching (the stripper
 // handles R"(...)" including embedded quotes and multi-line bodies).
 // ---------------------------------------------------------------------------

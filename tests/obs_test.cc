@@ -81,6 +81,49 @@ TEST(ObsMetricsTest, HistogramBucketsByBitWidth) {
   EXPECT_EQ(h->BucketCount(3), 0u);
 }
 
+TEST(ObsMetricsTest, HistogramValueAtQuantileWalksBucketBoundaries) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  EXPECT_EQ(h->ValueAtQuantile(0.5), 0u);  // empty histogram
+
+  // 90 samples in [4, 8) (bit_width 3), 10 samples in [512, 1024)
+  // (bit_width 10).
+  for (int i = 0; i < 90; ++i) h->Observe(5);
+  for (int i = 0; i < 10; ++i) h->Observe(700);
+  // Any quantile within the first 90 samples resolves to bucket 3's upper
+  // bound 2^3 - 1; the tail lands in bucket 10 (upper bound 2^10 - 1).
+  EXPECT_EQ(h->ValueAtQuantile(0.0), 7u);
+  EXPECT_EQ(h->ValueAtQuantile(0.5), 7u);
+  EXPECT_EQ(h->ValueAtQuantile(0.9), 7u);
+  EXPECT_EQ(h->ValueAtQuantile(0.91), 1023u);
+  EXPECT_EQ(h->ValueAtQuantile(0.99), 1023u);
+  EXPECT_EQ(h->ValueAtQuantile(1.0), 1023u);
+
+  // A zero-valued sample lives in bucket 0, whose upper bound is 0.
+  Histogram* zeros = registry.GetHistogram("zeros");
+  zeros->Observe(0);
+  EXPECT_EQ(zeros->ValueAtQuantile(0.5), 0u);
+  EXPECT_EQ(zeros->ValueAtQuantile(1.0), 0u);
+
+  // Out-of-range q clamps.
+  EXPECT_EQ(h->ValueAtQuantile(-1.0), 7u);
+  EXPECT_EQ(h->ValueAtQuantile(2.0), 1023u);
+}
+
+TEST(ObsMetricsTest, SnapshotCarriesHistogramQuantiles) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  for (int i = 0; i < 99; ++i) h->Observe(3);
+  h->Observe(100000);
+
+  const std::vector<MetricsRegistry::Sample> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].p50, 3u);
+  EXPECT_EQ(snapshot[0].p99, 3u);
+  h->Observe(100000);  // 100 -> p99 rank now reaches the big bucket
+  EXPECT_EQ(registry.Snapshot()[0].p99, (1u << 17) - 1);
+}
+
 TEST(ObsMetricsTest, SnapshotReportsRegistrationOrder) {
   MetricsRegistry registry;
   registry.GetCounter("b_counter")->Add(2);
@@ -523,9 +566,6 @@ TEST(ObsCacheStatsTest, PartitionCacheCountsHitsMissesAndBypasses) {
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.bypasses, 1u);
-  // The deprecated accessors alias the same counters.
-  EXPECT_EQ(cache.stats().hits, 1u);
-  EXPECT_EQ(cache.stats().misses, 1u);
 }
 
 /// The sim-cost span fields of every engine-phase span, keyed by track —
@@ -670,8 +710,14 @@ TEST(ObsExportTest, MetricsTableReportsRegistrationOrder) {
   EXPECT_EQ(table.rows()[0][1], "counter");
   EXPECT_EQ(table.rows()[0][2], "3");
   EXPECT_EQ(table.rows()[0][3], "-");  // counters have no sum column
+  EXPECT_EQ(table.rows()[0][5], "-");  // ... and no quantile columns
   EXPECT_EQ(table.rows()[1][0], "sizes");
   EXPECT_EQ(table.rows()[1][1], "histogram");
+  // Bucket-resolution quantiles: 8 has bit_width 4, upper bound 2^4 - 1.
+  EXPECT_EQ(table.header()[5], "p50");
+  EXPECT_EQ(table.header()[6], "p99");
+  EXPECT_EQ(table.rows()[1][5], "15");
+  EXPECT_EQ(table.rows()[1][6], "15");
   EXPECT_NE(table.ToCsv().find("runs"), std::string::npos);
 }
 

@@ -417,6 +417,91 @@ TEST(DenseBitsetTest, SetAtomicFromManyThreadsLosesNothing) {
   EXPECT_EQ(bits.CountSet(), kBits);
 }
 
+TEST(DenseBitsetTest, SetAtomicWordMasksTailOfNonMultipleSize) {
+  // 130 bits: two full words plus a 2-bit tail. An all-ones word written
+  // into the last word must only land on the 2 valid bits.
+  DenseBitset bits(130);
+  bits.SetAtomicWord(2, ~0ULL);
+  EXPECT_EQ(bits.CountSet(), 2u);
+  EXPECT_TRUE(bits.Test(128));
+  EXPECT_TRUE(bits.Test(129));
+  bits.SetAtomicWord(0, ~0ULL);
+  EXPECT_EQ(bits.CountSet(), 66u);
+  EXPECT_EQ(bits.Word(0), ~0ULL);
+  EXPECT_EQ(bits.Word(2), 0x3u);
+}
+
+TEST(DenseBitsetTest, SetAtomicWordFromManyThreadsLosesNothing) {
+  constexpr uint64_t kBits = (1 << 14) + 7;  // non-multiple of 64 on purpose
+  DenseBitset bits(kBits);
+  ThreadPool pool(4);
+  // Lanes OR disjoint bit patterns into the SAME words concurrently; the
+  // word-level fetch_or must merge all of them.
+  pool.ParallelFor(4, [&](uint64_t quarter, uint32_t) {
+    const uint64_t pattern = 0x1111111111111111ULL << quarter;
+    for (uint64_t w = 0; w < bits.num_words(); ++w) {
+      bits.SetAtomicWord(w, pattern);
+    }
+  });
+  // All four quarters of every nibble: every valid bit ends up set.
+  EXPECT_EQ(bits.CountSet(), kBits);
+}
+
+TEST(DenseBitsetTest, AppendSetBitsOnAllSetPartialLastWord) {
+  // Size not divisible by 64 with every bit set: the append must stop at
+  // size(), not at the word boundary.
+  constexpr uint64_t kBits = 64 + 17;
+  DenseBitset bits(kBits);
+  for (uint64_t i = 0; i < kBits; ++i) bits.Set(i);
+  EXPECT_EQ(bits.CountSet(), kBits);
+  std::vector<uint64_t> appended;
+  bits.AppendSetBits(&appended);
+  ASSERT_EQ(appended.size(), kBits);
+  for (uint64_t i = 0; i < kBits; ++i) EXPECT_EQ(appended[i], i);
+}
+
+TEST(DenseBitsetTest, OrWithAndWithMatchBitAtATimeReference) {
+  constexpr uint64_t kBits = 517;  // spans 9 words, partial tail
+  DenseBitset a(kBits), b(kBits);
+  std::vector<bool> ref_a(kBits, false), ref_b(kBits, false);
+  // Deterministic pseudo-pattern with mixed word occupancy.
+  for (uint64_t i = 0; i < kBits; ++i) {
+    if ((i * 2654435761u) % 3 == 0) {
+      a.Set(i);
+      ref_a[i] = true;
+    }
+    if ((i * 40503u) % 5 < 2) {
+      b.Set(i);
+      ref_b[i] = true;
+    }
+  }
+
+  DenseBitset or_bits = a;
+  or_bits.OrWith(b);
+  DenseBitset and_bits = a;
+  and_bits.AndWith(b);
+  for (uint64_t i = 0; i < kBits; ++i) {
+    EXPECT_EQ(or_bits.Test(i), ref_a[i] || ref_b[i]) << "bit " << i;
+    EXPECT_EQ(and_bits.Test(i), ref_a[i] && ref_b[i]) << "bit " << i;
+  }
+}
+
+TEST(DenseBitsetTest, CountSetInWordRangeSumsToCountSet) {
+  DenseBitset bits(300);
+  for (uint64_t i : {0ULL, 1ULL, 63ULL, 64ULL, 127ULL, 200ULL, 299ULL}) {
+    bits.Set(i);
+  }
+  EXPECT_EQ(bits.CountSetInWordRange(0, bits.num_words()), bits.CountSet());
+  EXPECT_EQ(bits.CountSetInWordRange(0, 1), 3u);   // bits 0, 1, 63
+  EXPECT_EQ(bits.CountSetInWordRange(1, 2), 2u);   // bits 64, 127
+  EXPECT_EQ(bits.CountSetInWordRange(2, 3), 0u);   // empty word
+  uint64_t sharded = 0;
+  for (uint64_t w = 0; w < bits.num_words(); ++w) {
+    sharded += bits.CountSetInWordRange(w, w + 1);
+  }
+  EXPECT_EQ(sharded, bits.CountSet());
+}
+
 // ---------------------------------------------------------------------------
 // ThreadPool
 // ---------------------------------------------------------------------------

@@ -6,19 +6,25 @@
 #   1. plain build (RelWithDebInfo, -Wall -Wextra -Werror) + full ctest
 #      suite, which includes the gdp_lint source linter (and its
 #      determinism-contract rules: no-wall-clock, no-float-accumulate,
-#      no-unordered-iteration, mutex-annotated);
-#   2. thread-safety build (Clang only): -DGDP_THREAD_SAFETY=ON compiles
+#      no-unordered-iteration, mutex-annotated, no-per-edge-accounting);
+#   2. native-arch kernel benches: rebuilds the engine-kernel claims
+#      benches with -DGDP_NATIVE_ARCH=ON (-march=native on bench/ targets
+#      only) and re-runs the kernel/engine scaling claims, so a
+#      vectorization-dependent determinism break under the host's full ISA
+#      cannot slip through. The plain leg already covers the portable
+#      codegen of the same benches;
+#   3. thread-safety build (Clang only): -DGDP_THREAD_SAFETY=ON compiles
 #      the tree under clang++ with -Wthread-safety -Wthread-safety-beta
 #      -Werror, checking the GDP_GUARDED_BY / GDP_REQUIRES annotations
 #      (src/util/thread_annotations.h) statically. SKIPPED when clang++ is
 #      not on PATH — the mutex-annotated lint rule in leg 1 still enforces
 #      that every mutex carries annotations;
-#   3. clang-tidy over leg 1's compile_commands.json (config in
+#   4. clang-tidy over leg 1's compile_commands.json (config in
 #      .clang-tidy). SKIPPED when clang-tidy is not on PATH;
-#   4. ASan+UBSan build (Debug, so GDP_DCHECK and the structural validators
+#   5. ASan+UBSan build (Debug, so GDP_DCHECK and the structural validators
 #      in src/partition/validate.h are live) + full ctest suite, failing on
 #      any sanitizer report (halt_on_error);
-#   5. TSan build (GDP_SANITIZE=thread) running the engine / frontier /
+#   6. TSan build (GDP_SANITIZE=thread) running the engine / frontier /
 #      thread-pool / parallel-ingress test targets — the data-race gate for
 #      the parallel GAS engine and the parallel ingest pipeline.
 #      Timing-sensitive claims benches are excluded (TSan's ~10x slowdown
@@ -28,9 +34,10 @@
 #   --quick  plain leg only (the seed tier-1 contract) — no static-analysis
 #            or sanitizer legs.
 #
-# Build trees: build-check/ (plain), build-tsafe/ (Clang thread safety),
-# build-asan/ and build-tsan/ (sanitized), kept apart from the developer's
-# build/ so the gate never clobbers a working tree.
+# Build trees: build-check/ (plain), build-native/ (-march=native benches),
+# build-tsafe/ (Clang thread safety), build-asan/ and build-tsan/
+# (sanitized), kept apart from the developer's build/ so the gate never
+# clobbers a working tree.
 
 set -euo pipefail
 
@@ -99,6 +106,7 @@ else
 fi
 
 if [[ "$QUICK" == "1" ]]; then
+  skip "native-arch" "--quick"
   skip "thread-safety" "--quick"
   skip "clang-tidy" "--quick"
   skip "asan+ubsan" "--quick"
@@ -108,7 +116,40 @@ if [[ "$QUICK" == "1" ]]; then
   exit 0
 fi
 
-# Leg 2: Clang thread-safety analysis. Build-only: the annotations are
+# Leg 2: the kernel claims benches again, under -march=native. The kernel
+# determinism contract (bit-identical simulated costs across layouts,
+# kernel modes, and thread counts) must survive the host's widest vector
+# ISA, not just portable codegen; only bench/ targets get the flag, so
+# everything else in this tree is identical to leg 1's.
+native_leg() {
+  local dir="$ROOT/build-native"
+  echo "=== [native-arch] configure ==="
+  cmake -B "$dir" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGDP_NATIVE_ARCH=ON >"$dir.configure.log" 2>&1 || {
+    cat "$dir.configure.log"
+    echo "check.sh: [native-arch] configure FAILED" >&2
+    return 1
+  }
+  echo "=== [native-arch] build (kernel benches) ==="
+  cmake --build "$dir" -j "$JOBS" \
+    --target bench_kernel_scaling --target bench_engine_scaling \
+    >"$dir.build.log" 2>&1 || {
+    tail -50 "$dir.build.log"
+    echo "check.sh: [native-arch] build FAILED" >&2
+    return 1
+  }
+  echo "=== [native-arch] kernel claims ==="
+  (cd "$dir" &&
+   ctest --output-on-failure -R 'claims_bench_(kernel|engine)_scaling')
+}
+if native_leg; then
+  pass "native-arch"
+else
+  fail "native-arch"
+fi
+
+# Leg 3: Clang thread-safety analysis. Build-only: the annotations are
 # checked at compile time, and the plain leg already ran the suite.
 if command -v clang++ >/dev/null 2>&1; then
   if run_leg "thread-safety" "$ROOT/build-tsafe" "@skip" \
@@ -124,7 +165,7 @@ else
   skip "thread-safety" "clang++ not on PATH"
 fi
 
-# Leg 3: clang-tidy over the plain leg's compile database (.clang-tidy
+# Leg 4: clang-tidy over the plain leg's compile database (.clang-tidy
 # holds the check list). Headers are covered through the .cc files that
 # include them.
 if command -v clang-tidy >/dev/null 2>&1; then
@@ -142,7 +183,7 @@ else
   skip "clang-tidy" "clang-tidy not on PATH"
 fi
 
-# Leg 4: ASan + UBSan, Debug so NDEBUG is off and the structural validators
+# Leg 5: ASan + UBSan, Debug so NDEBUG is off and the structural validators
 # (GDP_DCHECK_OK(ValidateDistributedGraph) in the harness and GAS engine)
 # run on every ingest. halt_on_error turns any report into a test failure.
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:strict_string_checks=1"
@@ -155,7 +196,7 @@ else
   fail "asan+ubsan"
 fi
 
-# Leg 5: TSan over the concurrency surface — the parallel GAS engine, the
+# Leg 6: TSan over the concurrency surface — the parallel GAS engine, the
 # parallel ingress pipeline (Ingest* matches the ingest determinism +
 # conservation suites), the parallel grid runner and its partition/plan
 # caches (GridRunner/PartitionCache/PlanCache), their

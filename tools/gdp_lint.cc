@@ -60,6 +60,16 @@
 //                  safety analysis (util/thread_annotations.h) has a
 //                  capability to check. A mutex guarding nothing it can
 //                  name (e.g. an external stream) carries a NOLINT.
+//   no-per-edge-accounting
+//                  src/engine/ only: no AddWorkUnits call indexed by a
+//                  per-entry machine array (`..._machine[...]`) — that
+//                  shape charges the accumulator once per adjacency entry
+//                  in the engines' innermost CSR loops. The plan's
+//                  per-vertex (machine, count) run tables charge the same
+//                  integer quarter-units with one call per distinct
+//                  machine, bit-identically (integer sums are order-free).
+//                  The preserved KernelMode::kPerEdge baseline kernels
+//                  carry NOLINT justifications.
 //
 // Comment and string contents — including raw string literals R"(...)" —
 // are stripped before matching, so prose and literals never trigger
@@ -442,6 +452,29 @@ void CheckMutexAnnotated(const FileText& f, std::vector<Finding>& findings) {
   }
 }
 
+/// no-per-edge-accounting: an AddWorkUnits call whose machine argument
+/// indexes a per-entry machine array is a per-adjacency-entry charge — the
+/// shape the batched run-table kernels replaced. Advisory: integer charges
+/// are order-free, so batching per vertex is bit-identical; deliberate
+/// per-edge baselines (KernelMode::kPerEdge) carry NOLINT.
+void CheckPerEdgeAccounting(const FileText& f,
+                            std::vector<Finding>& findings) {
+  if (!InDir(f, "src/engine")) return;
+  static const std::regex kPerEdge(
+      R"(\bAddWorkUnits\s*\([^;]*_machine\s*\[)");
+  for (size_t i = 0; i < f.stripped.size(); ++i) {
+    if (HasNolint(f.raw[i])) continue;
+    if (std::regex_search(f.stripped[i], kPerEdge)) {
+      findings.push_back(
+          {f.rel, i + 1, "no-per-edge-accounting",
+           "AddWorkUnits charged per adjacency entry (per-entry machine "
+           "index); batch through the plan's (machine, count) run tables — "
+           "integer charges are order-free, so batching is bit-identical — "
+           "or NOLINT a deliberate per-edge baseline"});
+    }
+  }
+}
+
 void CheckLines(const FileText& f, const std::set<std::string>& status_fns,
                 std::vector<Finding>& findings) {
   static const std::regex kRand(R"(\b(?:std::)?s?rand\s*\()");
@@ -569,6 +602,7 @@ int main(int argc, char** argv) {
     CheckFloatAccumulate(f, floats, findings);
     CheckUnorderedIteration(f, findings);
     CheckMutexAnnotated(f, findings);
+    CheckPerEdgeAccounting(f, findings);
     CheckLines(f, status_fns, findings);
   }
 
