@@ -1,0 +1,92 @@
+#ifndef GDP_APPS_MSSSSP_H_
+#define GDP_APPS_MSSSSP_H_
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "apps/sssp.h"
+#include "engine/gas_app.h"
+
+namespace gdp::apps {
+
+/// Multi-source SSSP — the serving layer's batching kernel for distance
+/// queries, the MS-BFS trick applied to unit-weight shortest paths. Up to
+/// kLanes source vertices relax simultaneously: each vertex's state is a
+/// lane-array of tentative distances and one gather takes the lane-wise
+/// minimum over neighbors. Unit-weight relaxation is monotone per lane, so
+/// lane i's fixed point equals a standalone SsspApp run from sources[i]
+/// bit-for-bit — which is what lets the serving scheduler coalesce B
+/// distance queries into one engine run without changing any answer
+/// (asserted by ServingTest and the bench_serving_throughput claims).
+///
+/// Lanes beyond sources.size() stay at kInfiniteDistance and never
+/// activate anything. Undirected, like SsspApp (kBoth/kBoth).
+template <size_t kLanes>
+struct MsSsspAppT {
+  using State = std::array<uint32_t, kLanes>;
+  using Gather = std::array<uint32_t, kLanes>;
+  static constexpr engine::EdgeDirection kGatherDir =
+      engine::EdgeDirection::kBoth;
+  static constexpr engine::EdgeDirection kScatterDir =
+      engine::EdgeDirection::kBoth;
+  static constexpr bool kBootstrapScatter = true;
+
+  /// At most kLanes source vertices, one query lane each.
+  std::vector<graph::VertexId> sources;
+
+  State InitState(graph::VertexId v, const engine::AppContext&) const {
+    State state;
+    state.fill(kInfiniteDistance);
+    for (size_t i = 0; i < sources.size() && i < kLanes; ++i) {
+      if (sources[i] == v) state[i] = 0;
+    }
+    return state;
+  }
+  bool InitiallyActive(graph::VertexId v) const {
+    for (size_t i = 0; i < sources.size() && i < kLanes; ++i) {
+      if (sources[i] == v) return true;
+    }
+    return false;
+  }
+  Gather GatherInit() const {
+    Gather acc;
+    acc.fill(kInfiniteDistance);
+    return acc;
+  }
+
+  void GatherEdge(graph::VertexId, graph::VertexId,
+                  const State& nbr_state, const engine::AppContext&,
+                  Gather* acc) const {
+    for (size_t i = 0; i < kLanes; ++i) {
+      (*acc)[i] = std::min((*acc)[i], nbr_state[i]);
+    }
+  }
+
+  bool Apply(graph::VertexId, const Gather& acc, bool has_gather,
+             const engine::AppContext&, State* state) const {
+    if (!has_gather) return false;
+    bool improved = false;
+    for (size_t i = 0; i < kLanes; ++i) {
+      if (acc[i] == kInfiniteDistance) continue;
+      const uint32_t candidate = acc[i] + 1;
+      if (candidate < (*state)[i]) {
+        (*state)[i] = candidate;
+        improved = true;
+      }
+    }
+    return improved;
+  }
+};
+
+/// The serving layer's lane width: wide enough to coalesce a dispatch
+/// window's worth of distance queries, narrow enough that per-vertex state
+/// (64 bytes) stays cache-resident.
+inline constexpr size_t kMsSsspLanes = 16;
+using MsSsspApp = MsSsspAppT<kMsSsspLanes>;
+
+}  // namespace gdp::apps
+
+#endif  // GDP_APPS_MSSSSP_H_

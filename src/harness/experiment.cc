@@ -141,9 +141,9 @@ engine::GasRunResult<App> RunGas(const ExperimentSpec& spec,
                                  const engine::RunOptions& options) {
   const bool graphx = spec.engine == engine::EngineKind::kGraphXPregel;
   if (plans != nullptr) {
-    const engine::ExecutionPlan& plan = plans->Get(
+    const std::shared_ptr<const engine::ExecutionPlan> plan = plans->Get(
         App::kGatherDir, App::kScatterDir, graphx, spec.plan_layout);
-    return engine::RunGasEngine(spec.engine, plan, cluster, std::move(app),
+    return engine::RunGasEngine(spec.engine, *plan, cluster, std::move(app),
                                 options);
   }
   const engine::ExecutionPlan plan = engine::ExecutionPlan::Build(
@@ -204,12 +204,12 @@ void RunApp(const ExperimentSpec& spec,
       opts.max_iterations = std::max(opts.max_iterations, 1000u);
       apps::KCoreResult r = [&] {
         if (plans != nullptr) {
-          return apps::KCoreDecompose(
-              spec.engine,
+          const std::shared_ptr<const engine::ExecutionPlan> plan =
               plans->Get(apps::KCoreApp::kGatherDir,
                          apps::KCoreApp::kScatterDir, graphx,
-                         spec.plan_layout),
-              cluster, spec.kcore_kmin, spec.kcore_kmax, opts);
+                         spec.plan_layout);
+          return apps::KCoreDecompose(spec.engine, *plan, cluster,
+                                      spec.kcore_kmin, spec.kcore_kmax, opts);
         }
         const engine::ExecutionPlan plan = engine::ExecutionPlan::Build(
             dg, apps::KCoreApp::kGatherDir, apps::KCoreApp::kScatterDir,
@@ -238,12 +238,12 @@ void RunApp(const ExperimentSpec& spec,
     case AppKind::kTriangles: {
       apps::TriangleCountResult r = [&] {
         if (plans != nullptr) {
-          return apps::CountTriangles(
-              spec.engine,
+          const std::shared_ptr<const engine::ExecutionPlan> plan =
               plans->Get(apps::NeighborListApp::kGatherDir,
                          apps::NeighborListApp::kScatterDir, graphx,
-                         spec.plan_layout),
-              cluster, run_options);
+                         spec.plan_layout);
+          return apps::CountTriangles(spec.engine, *plan, cluster,
+                                      run_options);
         }
         const engine::ExecutionPlan plan = engine::ExecutionPlan::Build(
             dg, apps::NeighborListApp::kGatherDir,

@@ -1,10 +1,19 @@
 #include "harness/partition_cache.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "harness/experiment_internal.h"
 #include "partition/validate.h"
 #include "util/check.h"
 
 namespace gdp::harness {
+
+uint64_t PartitionCache::Entry::ApproxBytes() const {
+  return ingest.graph.replicas.ApproxBytes() +
+         post_ingress.machines.size() * sizeof(sim::Machine) +
+         sizeof(post_ingress.now_seconds);
+}
 
 IngressKey PartitionCache::KeyFor(const graph::EdgeList& edges,
                                   const ExperimentSpec& spec) {
@@ -24,16 +33,22 @@ IngressKey PartitionCache::KeyFor(const graph::EdgeList& edges,
   return key;
 }
 
-const PartitionCache::Entry& PartitionCache::Get(const graph::EdgeList& edges,
-                                                 const ExperimentSpec& spec) {
+std::shared_ptr<const PartitionCache::Entry> PartitionCache::Get(
+    const graph::EdgeList& edges, const ExperimentSpec& spec) {
   GDP_CHECK_GT(spec.num_machines, 0u);
   const IngressKey key = KeyFor(edges, spec);
-  Slot* slot = nullptr;
+  std::shared_ptr<Slot> slot;
+  bool inserted = false;
+  uint64_t plan_budget = 0;
   {
     util::MutexLock lock(mu_);
-    std::unique_ptr<Slot>& entry = slots_[key];
-    if (entry == nullptr) entry = std::make_unique<Slot>();
-    slot = entry.get();
+    std::shared_ptr<Slot>& entry = slots_[key];
+    if (entry == nullptr) {
+      entry = std::make_shared<Slot>();
+      inserted = true;
+    }
+    slot = entry;
+    plan_budget = plan_budget_bytes_;
   }
   // The ingress runs outside the map lock (distinct keys build
   // concurrently); call_once serializes racers on the same key.
@@ -55,6 +70,8 @@ const PartitionCache::Entry& PartitionCache::Get(const graph::EdgeList& edges,
     slot->entry.post_ingress = cluster.Snapshot();
     slot->entry.plans =
         std::make_unique<engine::PlanCache>(slot->entry.ingest.graph);
+    slot->entry.plans->set_byte_budget(plan_budget);
+    slot->bytes = slot->entry.ApproxBytes();
     built = true;
   });
   if (built) {
@@ -62,7 +79,62 @@ const PartitionCache::Entry& PartitionCache::Get(const graph::EdgeList& edges,
   } else {
     hits_->Increment();
   }
-  return slot->entry;
+  if (inserted) {
+    // Admit into the byte ledger and evict oldest entries past the budget.
+    // Only the slot's creator admits, so each ingress is accounted once
+    // even if the slot was concurrently evicted and re-admitted.
+    util::MutexLock lock(mu_);
+    slot->admitted = true;
+    resident_bytes_ += slot->bytes;
+    admission_order_.push_back(key);
+    EvictToBudgetLocked(key);
+    resident_gauge_->Set(static_cast<int64_t>(resident_bytes_));
+  }
+  return std::shared_ptr<const Entry>(slot, &slot->entry);
+}
+
+void PartitionCache::EvictToBudgetLocked(const IngressKey& protect) {
+  if (budget_bytes_ == 0) return;
+  size_t scan = 0;
+  while (resident_bytes_ > budget_bytes_ && scan < admission_order_.size()) {
+    const IngressKey victim = admission_order_[scan];
+    if (victim == protect) {
+      ++scan;
+      continue;
+    }
+    auto it = slots_.find(victim);
+    if (it == slots_.end() || !it->second->admitted) {
+      ++scan;
+      continue;
+    }
+    const uint64_t bytes = it->second->bytes;
+    slots_.erase(it);
+    admission_order_.erase(admission_order_.begin() +
+                           static_cast<ptrdiff_t>(scan));
+    resident_bytes_ -= std::min(resident_bytes_, bytes);
+    evictions_->Increment();
+    evicted_bytes_->Add(bytes);
+  }
+}
+
+void PartitionCache::set_byte_budget(uint64_t bytes) {
+  util::MutexLock lock(mu_);
+  budget_bytes_ = bytes;
+}
+
+uint64_t PartitionCache::byte_budget() const {
+  util::MutexLock lock(mu_);
+  return budget_bytes_;
+}
+
+void PartitionCache::set_plan_byte_budget(uint64_t bytes) {
+  util::MutexLock lock(mu_);
+  plan_budget_bytes_ = bytes;
+}
+
+uint64_t PartitionCache::resident_bytes() const {
+  util::MutexLock lock(mu_);
+  return resident_bytes_;
 }
 
 size_t PartitionCache::size() const {
@@ -80,17 +152,19 @@ namespace {
 ExperimentResult RunCellCached(const graph::EdgeList& edges,
                                const ExperimentSpec& spec,
                                PartitionCache& cache, bool ingress_only) {
-  const PartitionCache::Entry& entry = cache.Get(edges, spec);
+  // The shared_ptr pins the entry for the duration of the run even if the
+  // cache evicts it under byte pressure meanwhile.
+  std::shared_ptr<const PartitionCache::Entry> entry = cache.Get(edges, spec);
   sim::Cluster cluster(spec.num_machines, sim::CostModel{});
-  cluster.Restore(entry.post_ingress);
+  cluster.Restore(entry->post_ingress);
 
   ExperimentResult result;
-  internal::PopulateIngressMetrics(entry.ingest.report, &result);
+  internal::PopulateIngressMetrics(entry->ingest.report, &result);
   if (!ingress_only) {
     // The compute phase runs under the caller's own sinks (the cached and
     // fresh paths start from bit-identical post-ingress cluster states, so
     // their compute spans carry identical simulated-cost fields).
-    internal::RunApp(spec, entry.ingest.graph, entry.plans.get(), cluster,
+    internal::RunApp(spec, entry->ingest.graph, entry->plans.get(), cluster,
                      internal::RunOptionsFor(
                          spec, internal::ExecFor(spec, /*timeline=*/nullptr)),
                      &result);

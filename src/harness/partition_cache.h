@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -46,14 +47,25 @@ struct IngressKey {
 /// graph. N application cells over one (graph, strategy, cluster)
 /// configuration pay for ingress once and for each distinct plan shape
 /// once — the PowerGraph trick of amortizing one ingress across many jobs,
-/// applied to the experiment grid.
+/// applied to the experiment grid and the serving layer.
+///
+/// Byte budget: by default the budget is 0 = unbounded and entries are
+/// never evicted (the pre-serving contract; all grid benches run this
+/// way). set_byte_budget(n) caps resident entry bytes (replica-table +
+/// cluster-snapshot ledger, ApproxEntryBytes): when admitting a newly
+/// built entry overflows the budget, the oldest admitted entries are
+/// evicted (deterministic FIFO by admission order) until the ledger fits
+/// or only the newcomer remains. Evicted entries stay alive while callers
+/// hold the returned shared_ptr; re-requesting an evicted key re-runs the
+/// ingress (a fresh miss). Eviction order is deterministic when admissions
+/// are serial (the serving scheduler admits serially); concurrent
+/// admissions may interleave admission order by scheduling.
 ///
 /// Thread-safety: Get() may be called concurrently from grid workers; the
-/// first caller for a key runs the ingress, racers block until it is ready.
-/// Entries are never evicted and entry references stay valid for the
-/// cache's lifetime. PartitionContext knobs that ExperimentSpec cannot
-/// express (hybrid_threshold, hdrf_lambda, ...) are always at their
-/// defaults in keyed runs, so they need no key fields.
+/// first caller for a key runs the ingress, racers block until it is
+/// ready. PartitionContext knobs that ExperimentSpec cannot express
+/// (hybrid_threshold, hdrf_lambda, ...) are always at their defaults in
+/// keyed runs, so they need no key fields.
 class PartitionCache {
  public:
   struct Entry {
@@ -62,6 +74,11 @@ class PartitionCache {
     /// Plans over ingest.graph; unique_ptr so Entry stays movable while
     /// the (mutex-holding) PlanCache stays put.
     std::unique_ptr<engine::PlanCache> plans;
+
+    /// The entry's byte-ledger charge: the replica table (the dominant
+    /// partitioned-graph structure) plus the cluster snapshot. Plan bytes
+    /// are accounted by the entry's own PlanCache ledger.
+    uint64_t ApproxBytes() const;
   };
 
   PartitionCache() = default;
@@ -74,9 +91,22 @@ class PartitionCache {
                            const ExperimentSpec& spec);
 
   /// The cached ingress artifact for (edges, spec), running the ingress on
-  /// first use. The caller must not outlive the cache with the reference.
-  const Entry& Get(const graph::EdgeList& edges, const ExperimentSpec& spec)
+  /// first use. The shared_ptr keeps the entry alive across eviction.
+  std::shared_ptr<const Entry> Get(const graph::EdgeList& edges,
+                                   const ExperimentSpec& spec)
       GDP_EXCLUDES(mu_);
+
+  /// Resident-byte cap for cached ingress entries; 0 (default) =
+  /// unbounded. Takes effect on the next admission.
+  void set_byte_budget(uint64_t bytes) GDP_EXCLUDES(mu_);
+  uint64_t byte_budget() const GDP_EXCLUDES(mu_);
+
+  /// Byte budget handed to each newly built entry's PlanCache (0 =
+  /// unbounded plans, the default). Existing entries keep their budget.
+  void set_plan_byte_budget(uint64_t bytes) GDP_EXCLUDES(mu_);
+
+  /// Bytes currently held by resident (non-evicted) entries.
+  uint64_t resident_bytes() const GDP_EXCLUDES(mu_);
 
   /// Lookup accounting: hits (entry already built), misses (this call ran
   /// the ingress), bypasses (timeline-recording cells that skipped the
@@ -89,22 +119,45 @@ class PartitionCache {
 
   size_t size() const GDP_EXCLUDES(mu_);
 
+  /// The cache's own metrics registry (partition_cache.hits/misses/
+  /// bypasses/evictions/evicted_bytes counters + resident_bytes gauge),
+  /// for MergeFrom into an exported registry.
+  const obs::MetricsRegistry& registry() const { return registry_; }
+
  private:
   struct Slot {
     std::once_flag once;
     Entry entry;
+    uint64_t bytes = 0;  ///< set by the builder before admission
+    /// True once the slot's creator accounted it in the byte ledger.
+    /// Written and read under mu_ only; eviction skips unadmitted slots.
+    bool admitted = false;
   };
 
-  /// Guards the slot map only. Slots themselves are stable once inserted;
-  /// building an entry happens outside the lock, serialized per slot by its
-  /// std::once_flag, so distinct keys ingest concurrently.
+  /// Evicts oldest admitted entries until the ledger fits the budget;
+  /// never evicts `protect` (the just-admitted key).
+  void EvictToBudgetLocked(const IngressKey& protect) GDP_REQUIRES(mu_);
+
+  /// Guards the slot map and the admission ledger only. Building an entry
+  /// happens outside the lock, serialized per slot by its std::once_flag,
+  /// so distinct keys ingest concurrently.
   mutable util::Mutex mu_;
-  std::map<IngressKey, std::unique_ptr<Slot>> slots_ GDP_GUARDED_BY(mu_);
-  // Registry-backed lookup counters (see stats()).
+  std::map<IngressKey, std::shared_ptr<Slot>> slots_ GDP_GUARDED_BY(mu_);
+  /// Resident keys, oldest admission first (the eviction order).
+  std::vector<IngressKey> admission_order_ GDP_GUARDED_BY(mu_);
+  uint64_t budget_bytes_ GDP_GUARDED_BY(mu_) = 0;
+  uint64_t plan_budget_bytes_ GDP_GUARDED_BY(mu_) = 0;
+  uint64_t resident_bytes_ GDP_GUARDED_BY(mu_) = 0;
+  // Registry-backed lookup/eviction counters (see stats()/registry()).
   obs::MetricsRegistry registry_;
   obs::Counter* hits_ = registry_.GetCounter("partition_cache.hits");
   obs::Counter* misses_ = registry_.GetCounter("partition_cache.misses");
   obs::Counter* bypasses_ = registry_.GetCounter("partition_cache.bypasses");
+  obs::Counter* evictions_ = registry_.GetCounter("partition_cache.evictions");
+  obs::Counter* evicted_bytes_ =
+      registry_.GetCounter("partition_cache.evicted_bytes");
+  obs::Gauge* resident_gauge_ =
+      registry_.GetGauge("partition_cache.resident_bytes");
 };
 
 /// RunExperiment through `cache`: ingress (and plan construction) are

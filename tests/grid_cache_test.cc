@@ -6,6 +6,7 @@
 // cache's determinism argument leans on.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -319,18 +320,18 @@ TEST(PlanCacheTest, ReturnsOnePlanPerShape) {
       Ingest(edges, *partitioner, cluster, partition::IngestOptions{});
 
   engine::PlanCache plans(ingest.graph);
-  const engine::ExecutionPlan& a =
+  std::shared_ptr<const engine::ExecutionPlan> a =
       plans.Get(engine::EdgeDirection::kIn, engine::EdgeDirection::kOut,
                 /*graphx_counts=*/false);
-  const engine::ExecutionPlan& b =
+  std::shared_ptr<const engine::ExecutionPlan> b =
       plans.Get(engine::EdgeDirection::kIn, engine::EdgeDirection::kOut,
                 /*graphx_counts=*/false);
-  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.get(), b.get());
   EXPECT_EQ(plans.num_plans(), 1u);
-  const engine::ExecutionPlan& c =
+  std::shared_ptr<const engine::ExecutionPlan> c =
       plans.Get(engine::EdgeDirection::kBoth, engine::EdgeDirection::kBoth,
                 /*graphx_counts=*/false);
-  EXPECT_NE(&a, &c);
+  EXPECT_NE(a.get(), c.get());
   EXPECT_EQ(plans.num_plans(), 2u);
 
   // A cached plan must drive the engine to the same result as a fresh one.
@@ -342,11 +343,12 @@ TEST(PlanCacheTest, ReturnsOnePlanPerShape) {
                                     apps::PageRankFixed(), run_options);
   double fresh_now = cluster.now_seconds();
   cluster.Restore(snapshot);
-  const engine::ExecutionPlan& pr_plan =
+  std::shared_ptr<const engine::ExecutionPlan> pr_plan =
       plans.Get(apps::PageRankApp::kGatherDir, apps::PageRankApp::kScatterDir,
                 /*graphx_counts=*/false);
-  auto run = engine::RunGasEngine(engine::EngineKind::kPowerGraphSync, pr_plan,
-                                  cluster, apps::PageRankFixed(), run_options);
+  auto run = engine::RunGasEngine(engine::EngineKind::kPowerGraphSync,
+                                  *pr_plan, cluster, apps::PageRankFixed(),
+                                  run_options);
   EXPECT_EQ(run.stats.compute_seconds, fresh.stats.compute_seconds);
   EXPECT_EQ(run.states, fresh.states);
   EXPECT_EQ(cluster.now_seconds(), fresh_now);

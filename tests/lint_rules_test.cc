@@ -365,6 +365,60 @@ inline void Baseline(Acc& acc, const Plan& plan, uint64_t s) {
 }
 
 // ---------------------------------------------------------------------------
+// Serving-layer shape: the bounded-queue scheduler pattern used by
+// src/serving/ — admission state guarded by an annotated mutex, latencies
+// in integer *simulated* microseconds — must pass every rule untouched,
+// and the tempting shortcuts (wall-clock latency stamps, a bare queue
+// mutex) must each fire.
+// ---------------------------------------------------------------------------
+
+TEST(LintServingShape, BoundedQueueSchedulerPassesClean) {
+  LintFixture fx;
+  fx.AddFile("src/serving/mini_server.h", Header(R"(
+#include <cstdint>
+#include <mutex>
+#include <vector>
+struct MiniServer {
+  bool Admit(uint64_t id, uint64_t arrival_us) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= capacity_) { rejected_++; return false; }
+    queue_.push_back(id);
+    admitted_at_us_.push_back(arrival_us);  // simulated clock, caller-owned
+    return true;
+  }
+  size_t capacity_ = 64;
+  std::vector<uint64_t> queue_ GDP_GUARDED_BY(mu_);
+  std::vector<uint64_t> admitted_at_us_ GDP_GUARDED_BY(mu_);
+  uint64_t rejected_ GDP_GUARDED_BY(mu_) = 0;
+  std::mutex mu_;
+};
+)"));
+  const auto r = fx.Run();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(r.findings.empty()) << r.output;
+}
+
+TEST(LintServingShape, WallClockLatencyAndBareQueueMutexFire) {
+  LintFixture fx;
+  fx.AddFile("src/serving/bad_server.h", Header(R"(
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+struct BadServer {
+  uint64_t StampLatency() {
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+  }
+  uint64_t depth_ = 0;
+  std::mutex queue_mu_;
+};
+)"));
+  const auto r = fx.Run();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_TRUE(HasFinding(r, "no-wall-clock", "bad_server.h:8")) << r.output;
+  EXPECT_TRUE(HasFinding(r, "mutex-annotated", "bad_server.h:11")) << r.output;
+}
+
+// ---------------------------------------------------------------------------
 // Raw string literals must not leak into rule matching (the stripper
 // handles R"(...)" including embedded quotes and multi-line bodies).
 // ---------------------------------------------------------------------------

@@ -110,6 +110,54 @@ TEST(ObsMetricsTest, HistogramValueAtQuantileWalksBucketBoundaries) {
   EXPECT_EQ(h->ValueAtQuantile(2.0), 1023u);
 }
 
+TEST(ObsMetricsTest, HistogramSingleSampleQuantiles) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("single");
+  h->Observe(37);  // bit_width 6 -> bucket upper bound 63
+  // Every quantile of a one-sample histogram resolves to that sample's
+  // bucket bound, including both endpoints.
+  EXPECT_EQ(h->ValueAtQuantile(0.0), 63u);
+  EXPECT_EQ(h->ValueAtQuantile(0.5), 63u);
+  EXPECT_EQ(h->ValueAtQuantile(0.99), 63u);
+  EXPECT_EQ(h->ValueAtQuantile(1.0), 63u);
+  const std::vector<MetricsRegistry::Sample> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].p50, 63u);
+  EXPECT_EQ(snapshot[0].p99, 63u);
+  EXPECT_EQ(snapshot[0].sum, 37u);
+  EXPECT_EQ(snapshot[0].max, 37u);
+}
+
+TEST(ObsMetricsTest, HistogramConcurrentRecordsExportDeterministically) {
+  // Quantile export (the p50/p99 MetricsTable columns) must not depend on
+  // the interleaving of concurrent Observe calls: bucket counts are
+  // order-free sums. Record the same multiset of samples serially and from
+  // 8 threads and require identical table rows.
+  const auto sample_value = [](uint64_t i) {
+    return (i % 10 == 9) ? 5000u + i : 20u + i % 8;  // heavy tail every 10th
+  };
+  constexpr uint64_t kSamples = 4000;
+
+  MetricsRegistry serial_registry;
+  Histogram* serial = serial_registry.GetHistogram("latency_us");
+  for (uint64_t i = 0; i < kSamples; ++i) serial->Observe(sample_value(i));
+
+  MetricsRegistry threaded_registry;
+  Histogram* threaded = threaded_registry.GetHistogram("latency_us");
+  util::ThreadPool pool(8);
+  pool.ParallelFor(kSamples, [&](uint64_t i, uint32_t /*lane*/) {
+    threaded->Observe(sample_value(i));
+  });
+
+  EXPECT_EQ(serial_registry.Snapshot(), threaded_registry.Snapshot());
+  EXPECT_EQ(MetricsTable(serial_registry).ToAscii(),
+            MetricsTable(threaded_registry).ToAscii());
+  // The exported percentile columns carry real values, not placeholders.
+  const MetricsRegistry::Sample row = threaded_registry.Snapshot().at(0);
+  EXPECT_EQ(row.p50, (1u << 5) - 1);   // 20..27 -> bucket 5
+  EXPECT_EQ(row.p99, (1u << 14) - 1);  // p99 rank 3960 > 3919 in-bucket-13
+}
+
 TEST(ObsMetricsTest, SnapshotCarriesHistogramQuantiles) {
   MetricsRegistry registry;
   Histogram* h = registry.GetHistogram("h");

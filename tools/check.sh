@@ -201,15 +201,17 @@ fi
 # conservation suites), the parallel grid runner and its partition/plan
 # caches (GridRunner/PartitionCache/PlanCache), their
 # frontier/thread-pool/accumulator utilities, the sim layer they charge,
-# and the observability layer (Obs* suites: sharded metrics counters,
-# trace recorder, ExecContext determinism matrix). RelWithDebInfo:
+# the observability layer (Obs* suites: sharded metrics counters, trace
+# recorder, ExecContext determinism matrix), and the serving layer
+# (Serving* suites: the batched scheduler's parallel phase over the
+# byte-budgeted caches). RelWithDebInfo:
 # TSan+Debug is too slow for the determinism matrix, and the race coverage
 # is identical. The -R filter selects the discovered gtest suites that
 # exercise threads; claims_ benches are timing-based and excluded (none of
 # them match).
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 if run_leg "tsan" "$ROOT/build-tsan" \
-  '(EngineDeterminism|EngineCorrectness|EngineAccounting|EngineEdge|ExecutionPlan|KCoreDeterminism|ThreadPool|DenseBitset|PhaseAccumulator|Machine|Cluster|Async|Ingest|GridRunner|PartitionCache|PlanCache|Obs)' \
+  '(EngineDeterminism|EngineCorrectness|EngineAccounting|EngineEdge|ExecutionPlan|KCoreDeterminism|ThreadPool|DenseBitset|PhaseAccumulator|Machine|Cluster|Async|Ingest|GridRunner|PartitionCache|PlanCache|Obs|Serving)' \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGDP_SANITIZE=thread; then
   pass "tsan"
