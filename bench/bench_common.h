@@ -7,14 +7,19 @@
 // and whether this run reproduces it. Absolute numbers are simulator-scale;
 // only orderings, ratios, and crossovers are meant to match (DESIGN.md §2).
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "graph/edge_block_store.h"
 #include "graph/edge_list.h"
 #include "graph/generators.h"
 #include "harness/experiment.h"
@@ -53,12 +58,62 @@ struct Datasets {
   }
 };
 
+namespace internal {
+/// Resolves the dataset cache directory: GDP_DATASET_CACHE_DIR when set,
+/// else .gdp_dataset_cache under the working directory.
+inline std::string DatasetCacheDir() {
+  const char* dir = std::getenv("GDP_DATASET_CACHE_DIR");
+  return dir != nullptr ? std::string(dir) : std::string(".gdp_dataset_cache");
+}
+
+/// Disk cache in front of the dataset generators: each graph is stored as a
+/// compressed edge-block file keyed by (name, scale, generator seed, format
+/// version), so repeated bench runs skip the expensive generation pass. A
+/// hit is trusted only after EdgeBlockStore::Validate() re-derives the
+/// fingerprint chain; writes go through a pid-suffixed temp file plus
+/// std::rename so concurrent bench binaries never observe a torn file.
+inline graph::EdgeList LoadOrGenerateDataset(
+    const std::string& name, double scale, uint64_t seed,
+    const std::function<graph::EdgeList()>& generate) {
+  std::string slug;
+  for (char c : name) {
+    slug += isalnum(static_cast<unsigned char>(c))
+                ? static_cast<char>(tolower(static_cast<unsigned char>(c)))
+                : '-';
+  }
+  char key[64];
+  std::snprintf(key, sizeof(key), "_x%g_s%llx_v1.blks", scale,
+                static_cast<unsigned long long>(seed));
+  const std::string dir = DatasetCacheDir();
+  const std::string path = dir + "/" + slug + key;
+  util::StatusOr<graph::EdgeBlockStore> cached =
+      graph::EdgeBlockStore::LoadFrom(path);
+  if (cached.ok() && cached.value().name() == name &&
+      cached.value().Validate().ok()) {
+    return cached.value().Materialize();
+  }
+  graph::EdgeList edges = generate();
+  edges.set_name(name);
+  ::mkdir(dir.c_str(), 0755);
+  const graph::EdgeBlockStore store = graph::EdgeBlockStore::FromEdges(edges);
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  if (store.SaveTo(tmp).ok() &&
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+  }
+  return edges;
+}
+}  // namespace internal
+
 /// Builds the requested slice of the dataset grid. `scale` multiplies
 /// vertex counts (1.0 = default bench scale, smaller for smoke tests).
 /// Generators run concurrently on a thread pool: each graph is produced by
 /// an independent, self-seeded generator, so the result is bit-identical
-/// to serial generation at any thread count. Graphs outside `set` are left
-/// empty (reading one is a bug in the calling bench).
+/// to serial generation at any thread count. Each graph is backed by the
+/// compressed-block disk cache (internal::LoadOrGenerateDataset), so only
+/// the first run at a given (scale, set) pays generation cost. Graphs
+/// outside `set` are left empty (reading one is a bug in the calling
+/// bench).
 inline Datasets MakeDatasets(double scale = 1.0,
                              DatasetSet set = DatasetSet::kAll) {
   auto v = [scale](uint32_t n) {
@@ -73,42 +128,57 @@ inline Datasets MakeDatasets(double scale = 1.0,
   const std::vector<Task> all_tasks = {
       {true, true,
        [&] {
-         d.road_ca = graph::GenerateRoadNetwork(
-             {.width = v(130), .height = v(130), .seed = 0xCA});
-         d.road_ca.set_name("road-net-CA");
+         d.road_ca = internal::LoadOrGenerateDataset(
+             "road-net-CA", scale, 0xCA, [&] {
+               return graph::GenerateRoadNetwork(
+                   {.width = v(130), .height = v(130), .seed = 0xCA});
+             });
        }},
       {true, true,
        [&] {
-         d.road_usa = graph::GenerateRoadNetwork(
-             {.width = v(260), .height = v(260), .seed = 0x05A});
-         d.road_usa.set_name("road-net-USA");
+         d.road_usa = internal::LoadOrGenerateDataset(
+             "road-net-USA", scale, 0x05A, [&] {
+               return graph::GenerateRoadNetwork(
+                   {.width = v(260), .height = v(260), .seed = 0x05A});
+             });
        }},
       {true, true,
        [&] {
-         d.livejournal = graph::GenerateHeavyTailed(
-             {.num_vertices = v(30000), .edges_per_vertex = 9, .seed = 0x17});
-         d.livejournal.set_name("LiveJournal");
+         d.livejournal = internal::LoadOrGenerateDataset(
+             "LiveJournal", scale, 0x17, [&] {
+               return graph::GenerateHeavyTailed({.num_vertices = v(30000),
+                                                  .edges_per_vertex = 9,
+                                                  .seed = 0x17});
+             });
        }},
       {false, true,
        [&] {
-         d.enwiki = graph::GenerateHeavyTailed(
-             {.num_vertices = v(22000),
-              .edges_per_vertex = 12,
-              .reciprocal_fraction = 0.15,
-              .seed = 0xE7});
-         d.enwiki.set_name("Enwiki-2013");
+         d.enwiki = internal::LoadOrGenerateDataset(
+             "Enwiki-2013", scale, 0xE7, [&] {
+               return graph::GenerateHeavyTailed(
+                   {.num_vertices = v(22000),
+                    .edges_per_vertex = 12,
+                    .reciprocal_fraction = 0.15,
+                    .seed = 0xE7});
+             });
        }},
       {true, false,
        [&] {
-         d.twitter = graph::GenerateHeavyTailed(
-             {.num_vertices = v(50000), .edges_per_vertex = 14, .seed = 0x7F});
-         d.twitter.set_name("Twitter");
+         d.twitter = internal::LoadOrGenerateDataset(
+             "Twitter", scale, 0x7F, [&] {
+               return graph::GenerateHeavyTailed({.num_vertices = v(50000),
+                                                  .edges_per_vertex = 14,
+                                                  .seed = 0x7F});
+             });
        }},
       {true, false,
        [&] {
-         d.ukweb = graph::GeneratePowerLawWeb(
-             {.num_vertices = v(60000), .out_alpha = 1.3, .seed = 0x0B});
-         d.ukweb.set_name("UK-web");
+         d.ukweb = internal::LoadOrGenerateDataset(
+             "UK-web", scale, 0x0B, [&] {
+               return graph::GeneratePowerLawWeb({.num_vertices = v(60000),
+                                                  .out_alpha = 1.3,
+                                                  .seed = 0x0B});
+             });
        }},
   };
   std::vector<const Task*> selected;
@@ -136,7 +206,84 @@ inline std::ofstream& CsvStream() {
   static std::ofstream out;
   return out;
 }
+
+/// Machine-readable summary of the current artifact: named scalar metrics
+/// (Metric) plus every Claim verdict, flushed to BENCH_<slug>.json when the
+/// next PrintHeader starts a new artifact and again at exit.
+struct PerfSummary {
+  std::string slug;
+  std::vector<std::pair<std::string, double>> metrics;
+  struct ClaimRecord {
+    std::string text;
+    bool holds;
+  };
+  std::vector<ClaimRecord> claims;
+};
+
+inline PerfSummary& Perf() {
+  static PerfSummary summary;
+  return summary;
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Writes BENCH_<slug>.json (to GDP_BENCH_JSON_DIR, else the working
+/// directory) for the artifact accumulated so far, then resets the
+/// accumulator for the next artifact in the same binary.
+inline void FlushPerfSummary() {
+  PerfSummary& perf = Perf();
+  if (!perf.slug.empty() && (!perf.metrics.empty() || !perf.claims.empty())) {
+    const char* dir = std::getenv("GDP_BENCH_JSON_DIR");
+    const std::string path = (dir != nullptr ? std::string(dir) + "/" : "") +
+                             "BENCH_" + perf.slug + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (out.is_open()) {
+      out << "{\n  \"bench\": \"" << JsonEscape(perf.slug) << "\",\n";
+      out << "  \"metrics\": {";
+      for (size_t i = 0; i < perf.metrics.size(); ++i) {
+        char value[64];
+        std::snprintf(value, sizeof(value), "%.17g", perf.metrics[i].second);
+        out << (i == 0 ? "\n" : ",\n") << "    \""
+            << JsonEscape(perf.metrics[i].first) << "\": " << value;
+      }
+      out << (perf.metrics.empty() ? "" : "\n  ") << "},\n";
+      out << "  \"claims\": [";
+      for (size_t i = 0; i < perf.claims.size(); ++i) {
+        out << (i == 0 ? "\n" : ",\n") << "    {\"text\": \""
+            << JsonEscape(perf.claims[i].text) << "\", \"holds\": "
+            << (perf.claims[i].holds ? "true" : "false") << "}";
+      }
+      out << (perf.claims.empty() ? "" : "\n  ") << "]\n}\n";
+    }
+  }
+  perf.metrics.clear();
+  perf.claims.clear();
+}
+
 }  // namespace internal
+
+/// Records one named scalar for the current artifact's BENCH_<slug>.json
+/// summary (speedups, compression ratios, byte counts...). Also echoed to
+/// stdout so the human-readable log carries the same numbers.
+inline void Metric(const std::string& name, double value) {
+  std::printf("  [metric] %s = %.6g\n", name.c_str(), value);
+  internal::Perf().metrics.emplace_back(name, value);
+}
 
 /// Prints a bench header naming the paper artifact reproduced. Also derives
 /// a file slug from the artifact name so that, when the environment
@@ -163,11 +310,17 @@ inline void PrintHeader(const std::string& artifact,
     if (out.is_open()) out.close();
     out.open(std::string(dir) + "/" + slug + ".csv", std::ios::trunc);
   }
+  internal::FlushPerfSummary();
+  internal::Perf().slug = slug;
+  static const bool atexit_registered =
+      std::atexit(internal::FlushPerfSummary) == 0;
+  (void)atexit_registered;
 }
 
 /// Prints one paper claim and whether the measured data reproduces it.
 inline bool Claim(const std::string& text, bool holds) {
   std::printf("[%s] %s\n", holds ? "REPRODUCED" : "DIVERGES  ", text.c_str());
+  internal::Perf().claims.push_back({text, holds});
   return holds;
 }
 

@@ -167,6 +167,10 @@ int main() {
   }
   bench::PrintTable(table);
 
+  bench::Metric("grid_speedup_cached_8t_x", serial_wall / cached8_wall);
+  bench::Metric("cache_hits_8t", static_cast<double>(hits8));
+  bench::Metric("cache_misses_8t", static_cast<double>(misses8));
+
   // ---- Claims ----
   bool ok = true;
   ok &= bench::Claim(

@@ -313,6 +313,11 @@ int main() {
                   util::Table::Num(hdrf_speedup), hdrf_same ? "yes" : "NO"});
   bench::PrintTable(kernels);
 
+  bench::Metric("oblivious_kernel_speedup_x", obl_speedup);
+  bench::Metric("hdrf_kernel_speedup_x", hdrf_speedup);
+  bench::Metric("ingress_speedup_8t_oblivious_x", speedup_at_8[0]);
+  bench::Metric("ingress_speedup_8t_hdrf_x", speedup_at_8[1]);
+
   // ---- Claims ----
   bool ok = true;
   ok &= bench::Claim(

@@ -300,6 +300,11 @@ int main() {
                       util::Table::Num(shrink)});
   bench::PrintTable(speed_table);
 
+  bench::Metric("batched_kernel_speedup_x", speedup);
+  bench::Metric("compressed_plan_shrink_x", shrink);
+  bench::Metric("compressed_kernel_speedup_x",
+                per_edge_seconds / compressed_seconds);
+
   // ---- Claims ----
   bool ok = true;
   ok &= bench::Claim(

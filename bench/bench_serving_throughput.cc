@@ -151,6 +151,10 @@ int main() {
                              ? 0.0
                              : warm_result.RequestsPerSecond() /
                                    cold_result.RequestsPerSecond();
+  bench::Metric("serving_batched_warm_speedup_x", speedup);
+  bench::Metric("warm_requests_per_second", warm_result.RequestsPerSecond());
+  bench::Metric("cold_requests_per_second", cold_result.RequestsPerSecond());
+
   bool ok = true;
   ok &= bench::Claim(
       "per-request answers bit-identical: batched/warm vs unbatched/cold",

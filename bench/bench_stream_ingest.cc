@@ -1,0 +1,291 @@
+// Streaming-ingress benchmark (no paper figure): the compressed edge-block
+// store and the bounded double-buffered decode pipeline in front of the
+// partitioner lanes (DESIGN.md §14).
+//
+// Claims gating this bench:
+//  1. Compressed store: >= 2x smaller resident edge bytes than the flat
+//     Edge vector on the crawl-ordered UK-web analog (always checked; the
+//     shuffled Twitter-like stream's shrink is reported as a metric — a
+//     shuffled src column caps fixed-width delta coding near 2x there).
+//  2. Bit-identity matrix: flat and block-streamed Ingest() both reproduce
+//     IngestReference() exactly — DistributedGraph, IngressReport, and
+//     per-machine cluster counters — at 1/2/8 threads for all 13
+//     strategies (always checked).
+//  3. Memory budget: the decode ring's resident bytes respect
+//     IngestOptions::memory_budget_bytes, and the byte ledger is conserved
+//     (ring_bytes == ring_buffers * block bytes; always checked).
+//  4. Decode overlap: >= 1.3x wall-clock speedup on multi-pass strategies
+//     at 8 threads from double-buffering decode against the partitioner
+//     lanes (checked only when the host has >= 8 hardware threads;
+//     printed as an explicit skip otherwise).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/edge_block_store.h"
+#include "partition/ingest.h"
+#include "sim/cluster.h"
+
+namespace {
+
+using namespace gdp;
+
+// 7 machines: the largest size every strategy accepts (PDS needs
+// p^2+p+1), matching the ingest determinism suite.
+constexpr uint32_t kMachines = 7;
+constexpr uint32_t kLoaders = 16;
+
+partition::PartitionContext MakeContext(graph::VertexId vertices) {
+  partition::PartitionContext context;
+  context.num_partitions = kMachines;
+  context.num_vertices = vertices;
+  context.num_loaders = kLoaders;
+  context.seed = 3;
+  return context;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+enum class Path { kReference, kFlat, kBlock };
+
+struct RunSnapshot {
+  partition::IngestResult result;
+  std::vector<double> busy_seconds;
+  std::vector<uint64_t> bytes_sent;
+  std::vector<uint64_t> bytes_received;
+  std::vector<uint64_t> memory_bytes;
+  std::vector<uint64_t> peak_memory_bytes;
+  partition::IngestMemoryStats memory;
+  double wall_seconds = 0;
+};
+
+RunSnapshot RunOnce(const graph::EdgeList& edges,
+                    const graph::EdgeBlockStore& store,
+                    partition::StrategyKind kind, Path path,
+                    uint32_t num_threads, bool overlap_decode = true,
+                    uint64_t budget = 0) {
+  auto partitioner =
+      partition::MakePartitioner(kind, MakeContext(edges.num_vertices()));
+  sim::Cluster cluster(kMachines, sim::CostModel{});
+  partition::IngestOptions options;
+  options.num_loaders = kLoaders;
+  options.exec.num_threads = num_threads;
+  options.overlap_decode = overlap_decode;
+  options.memory_budget_bytes = budget;
+  RunSnapshot snap;
+  options.memory_stats = &snap.memory;
+  auto start = std::chrono::steady_clock::now();
+  switch (path) {
+    case Path::kReference:
+      snap.result = IngestReference(edges, *partitioner, cluster, options);
+      break;
+    case Path::kFlat:
+      snap.result = Ingest(edges, *partitioner, cluster, options);
+      break;
+    case Path::kBlock:
+      snap.result = Ingest(store, *partitioner, cluster, options);
+      break;
+  }
+  snap.wall_seconds = SecondsSince(start);
+  for (uint32_t m = 0; m < kMachines; ++m) {
+    const sim::Machine& machine = cluster.machine(m);
+    snap.busy_seconds.push_back(machine.busy_seconds());
+    snap.bytes_sent.push_back(machine.bytes_sent());
+    snap.bytes_received.push_back(machine.bytes_received());
+    snap.memory_bytes.push_back(machine.memory_bytes());
+    snap.peak_memory_bytes.push_back(machine.peak_memory_bytes());
+  }
+  return snap;
+}
+
+bool SnapshotsIdentical(const RunSnapshot& a, const RunSnapshot& b) {
+  const partition::IngressReport& ra = a.result.report;
+  const partition::IngressReport& rb = b.result.report;
+  return a.result.graph.edge_partition == b.result.graph.edge_partition &&
+         a.result.graph.master == b.result.graph.master &&
+         a.result.graph.partition_edge_count ==
+             b.result.graph.partition_edge_count &&
+         a.result.graph.edges == b.result.graph.edges &&
+         ra.ingress_seconds == rb.ingress_seconds &&
+         ra.pass_seconds == rb.pass_seconds &&
+         ra.edges_moved == rb.edges_moved &&
+         ra.replication_factor == rb.replication_factor &&
+         ra.peak_state_bytes == rb.peak_state_bytes &&
+         a.busy_seconds == b.busy_seconds && a.bytes_sent == b.bytes_sent &&
+         a.bytes_received == b.bytes_received &&
+         a.memory_bytes == b.memory_bytes &&
+         a.peak_memory_bytes == b.peak_memory_bytes;
+}
+
+const std::vector<partition::StrategyKind>& AllThirteen() {
+  static const std::vector<partition::StrategyKind> kinds = [] {
+    std::vector<partition::StrategyKind> k = partition::AllStrategies();
+    k.push_back(partition::StrategyKind::kChunked);
+    k.push_back(partition::StrategyKind::kDbh);
+    return k;
+  }();
+  return kinds;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Streaming ingress — compressed edge-block store + bounded decode "
+      "pipeline",
+      "13 strategies, 9 machines, 16 loaders; power-law (Twitter-like) "
+      "graph");
+
+  const uint32_t hw_threads = std::thread::hardware_concurrency();
+  std::printf("host hardware threads: %u\n", hw_threads);
+
+  graph::EdgeList twitter = graph::GenerateHeavyTailed(
+      {.num_vertices = 20000, .edges_per_vertex = 12, .seed = 0x7F});
+  twitter.set_name("Twitter");
+  const graph::EdgeBlockStore store = graph::EdgeBlockStore::FromEdges(twitter);
+
+  // ---- Claim 1: resident shrink. -----------------------------------------
+  // The UK-web analog is emitted in crawl order (ascending src, sorted
+  // adjacency) like real web-graph snapshots, where delta coding shines;
+  // the Twitter analog's stream is deliberately shuffled (generators.cc),
+  // which caps per-block fixed-width deltas near 2x. Both are reported;
+  // the web graph gates.
+  graph::EdgeList ukweb = graph::GeneratePowerLawWeb(
+      {.num_vertices = 30000, .out_alpha = 1.3, .seed = 0x0B});
+  ukweb.set_name("UK-web");
+  const graph::EdgeBlockStore web_store =
+      graph::EdgeBlockStore::FromEdges(ukweb);
+  const double web_shrink =
+      static_cast<double>(ukweb.num_edges() * sizeof(graph::Edge)) /
+      static_cast<double>(web_store.ResidentBytes());
+  const double twitter_shrink =
+      static_cast<double>(twitter.num_edges() * sizeof(graph::Edge)) /
+      static_cast<double>(store.ResidentBytes());
+  bench::Metric("ukweb_flat_edge_bytes",
+                static_cast<double>(ukweb.num_edges() * sizeof(graph::Edge)));
+  bench::Metric("ukweb_store_resident_bytes",
+                static_cast<double>(web_store.ResidentBytes()));
+  bench::Metric("ukweb_resident_shrink_x", web_shrink);
+  bench::Metric("twitter_resident_shrink_x", twitter_shrink);
+
+  // ---- Claim 2: bit-identity matrix. -------------------------------------
+  bool identical = true;
+  util::Table matrix({"strategy", "path", "threads", "== reference"});
+  for (partition::StrategyKind kind : AllThirteen()) {
+    const RunSnapshot reference =
+        RunOnce(twitter, store, kind, Path::kReference, 1);
+    for (Path path : {Path::kFlat, Path::kBlock}) {
+      for (uint32_t threads : {1u, 2u, 8u}) {
+        const RunSnapshot run = RunOnce(twitter, store, kind, path, threads);
+        const bool same = SnapshotsIdentical(reference, run);
+        identical = identical && same;
+        matrix.AddRow({partition::StrategyName(kind),
+                       path == Path::kFlat ? "flat" : "block",
+                       std::to_string(threads), same ? "yes" : "NO"});
+      }
+    }
+  }
+  bench::PrintTable(matrix);
+
+  // ---- Claim 3: memory budget + ledger. ----------------------------------
+  const uint64_t budget = 64 * 1024;
+  const RunSnapshot budgeted =
+      RunOnce(twitter, store, partition::StrategyKind::kHdrf, Path::kBlock,
+              /*num_threads=*/4, /*overlap_decode=*/true, budget);
+  const RunSnapshot unbudgeted =
+      RunOnce(twitter, store, partition::StrategyKind::kHdrf, Path::kBlock,
+              /*num_threads=*/4, /*overlap_decode=*/true, /*budget=*/0);
+  const bool ledger_ok =
+      budgeted.memory.ring_bytes ==
+          budgeted.memory.ring_buffers * budgeted.memory.block_bytes &&
+      budgeted.memory.peak_ledger_bytes ==
+          budgeted.memory.ring_bytes + budgeted.memory.peak_state_bytes &&
+      unbudgeted.memory.ring_bytes ==
+          unbudgeted.memory.ring_buffers * unbudgeted.memory.block_bytes;
+  // The ring floor is one decoded block per loader; any budget at or above
+  // that must be respected exactly.
+  const bool budget_ok =
+      budgeted.memory.ring_bytes <=
+          std::max<uint64_t>(budget,
+                             kLoaders * budgeted.memory.block_bytes) &&
+      budgeted.memory.ring_bytes <= unbudgeted.memory.ring_bytes;
+  bench::Metric("ring_bytes_unbudgeted",
+                static_cast<double>(unbudgeted.memory.ring_bytes));
+  bench::Metric("ring_bytes_64k_budget",
+                static_cast<double>(budgeted.memory.ring_bytes));
+
+  // ---- Claim 4: decode-overlap speedup on multi-pass strategies. ---------
+  const std::vector<partition::StrategyKind> multi_pass = {
+      partition::StrategyKind::kChunked, partition::StrategyKind::kDbh,
+      partition::StrategyKind::kHybridGinger};
+  util::Table overlap({"strategy", "inline(ms)", "overlap(ms)", "speedup"});
+  double best_speedup = 0;
+  if (hw_threads >= 8) {
+    for (partition::StrategyKind kind : multi_pass) {
+      double inline_wall = 1e300;
+      double overlap_wall = 1e300;
+      // Best-of-3 per configuration to damp scheduler noise.
+      for (int rep = 0; rep < 3; ++rep) {
+        inline_wall = std::min(
+            inline_wall, RunOnce(twitter, store, kind, Path::kBlock, 8,
+                                 /*overlap_decode=*/false)
+                             .wall_seconds);
+        overlap_wall = std::min(
+            overlap_wall, RunOnce(twitter, store, kind, Path::kBlock, 8,
+                                  /*overlap_decode=*/true)
+                              .wall_seconds);
+      }
+      const double speedup = inline_wall / overlap_wall;
+      best_speedup = std::max(best_speedup, speedup);
+      overlap.AddRow({partition::StrategyName(kind),
+                      util::Table::Num(inline_wall * 1e3),
+                      util::Table::Num(overlap_wall * 1e3),
+                      util::Table::Num(speedup)});
+      bench::Metric(std::string("overlap_speedup_") +
+                        partition::StrategyName(kind),
+                    speedup);
+    }
+    bench::PrintTable(overlap);
+  }
+
+  // ---- Claims ----
+  bool ok = true;
+  ok &= bench::Claim(
+      "compressed edge-block store >= 2x smaller resident edge bytes than "
+      "the flat vector on the crawl-ordered UK-web analog (measured " +
+          util::Table::Num(web_shrink, 2) + "x; shuffled Twitter stream " +
+          util::Table::Num(twitter_shrink, 2) + "x)",
+      web_shrink >= 2.0);
+  ok &= bench::Claim(
+      "flat and block-streamed ingest bit-identical to IngestReference at "
+      "1/2/8 threads for all 13 strategies (graph, report, per-machine "
+      "cluster counters)",
+      identical);
+  ok &= bench::Claim(
+      "decode-ring byte ledger conserved and a 64KiB budget caps the ring "
+      "at max(budget, one block per loader)",
+      ledger_ok && budget_ok);
+  if (hw_threads >= 8) {
+    ok &= bench::Claim(
+        ">= 1.3x multi-pass ingest speedup at 8 threads from overlapping "
+        "block decode with the partitioner lanes (best measured " +
+            util::Table::Num(best_speedup, 2) + "x)",
+        best_speedup >= 1.3);
+  } else {
+    ok &= bench::Claim(
+        "decode-overlap speedup claim skipped: host has only " +
+            std::to_string(hw_threads) +
+            " hardware thread(s); rerun on >= 8 cores to evaluate",
+        true);
+  }
+  return ok ? 0 : 1;
+}

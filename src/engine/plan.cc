@@ -39,22 +39,9 @@ MachineMasks MachineMasks::Build(const partition::DistributedGraph& dg) {
 
 namespace {
 
-/// Writes the low `width` bits of `bits` at absolute bit `bit_pos` of a
-/// zero-initialized word array (the encode mirror of ReadPackedBits).
-inline void WritePackedBits(uint64_t* words, uint64_t bit_pos, uint32_t width,
-                            uint64_t bits) {
-  const uint64_t w = bit_pos >> 6;
-  const uint32_t off = static_cast<uint32_t>(bit_pos & 63);
-  words[w] |= bits << off;
-  if (off + width > 64) words[w + 1] |= bits >> (64 - off);
-}
-
-/// Zigzag-maps a signed delta onto a non-negative integer so small
-/// magnitudes of either sign pack into few bits.
-inline uint64_t ZigZag(int64_t delta) {
-  return (static_cast<uint64_t>(delta) << 1) ^
-         static_cast<uint64_t>(delta >> 63);
-}
+// Encode-side packing primitives shared with the edge-block store.
+using util::WritePackedBits;
+using util::ZigZag;
 
 /// Folds a CSR's per-entry machine tags into per-vertex (machine, count)
 /// runs, ascending by machine. Counts are whole adjacency events (the

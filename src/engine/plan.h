@@ -7,6 +7,7 @@
 #include "engine/gas_app.h"
 #include "partition/distributed_graph.h"
 #include "sim/cluster.h"
+#include "util/bitpack.h"
 #include "util/check.h"
 
 namespace gdp::engine {
@@ -34,19 +35,12 @@ inline uint64_t DirectionMask(const MachineMasks& masks, EdgeDirection dir,
   return m;
 }
 
-/// Reads `width` bits (1..33) starting at absolute bit `bit_pos` of a
-/// packed word array. Unaligned straddles are handled with two word loads
-/// and a shift-merge — no per-bit loop, no byte addressing. The array must
-/// carry one padding word past the last encoded bit so words[w + 1] is
-/// always dereferenceable.
-inline uint64_t ReadPackedBits(const uint64_t* words, uint64_t bit_pos,
-                               uint32_t width) {
-  const uint64_t w = bit_pos >> 6;
-  const uint32_t off = static_cast<uint32_t>(bit_pos & 63);
-  uint64_t bits = words[w] >> off;
-  if (off + width > 64) bits |= words[w + 1] << (64 - off);
-  return bits & ((1ULL << width) - 1);
-}
+/// Reads `width` bits starting at absolute bit `bit_pos` of a packed word
+/// array. Forwarded to the shared codec in util/bitpack.h (also used by the
+/// compressed edge-block store); kept under this name so plan internals
+/// read uniformly. The array must carry one padding word past the last
+/// encoded bit so words[w + 1] is always dereferenceable.
+using util::ReadPackedBits;
 
 }  // namespace internal
 

@@ -28,6 +28,9 @@ EdgeList EdgeList::Symmetrized() const {
   EdgeList out(name_ + "-sym", num_vertices_, {});
   out.edges_.reserve(edges_.size() * 2);
   for (const Edge& e : edges_) {
+    // Deduplicate would drop self loops after the sort; skipping them here
+    // keeps them out of the doubled intermediate and the sort entirely.
+    if (e.src == e.dst) continue;
     out.edges_.push_back(e);
     out.edges_.push_back({e.dst, e.src});
   }

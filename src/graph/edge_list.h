@@ -28,6 +28,11 @@ class EdgeList {
   const std::vector<Edge>& edges() const { return edges_; }
   std::vector<Edge>& mutable_edges() { return edges_; }
 
+  /// Pre-sizes the edge vector for `num_edges` appends, so AddEdge loops
+  /// with a known (or estimable) edge count do one allocation instead of
+  /// O(log n) doubling reallocations with full copies.
+  void Reserve(uint64_t num_edges) { edges_.reserve(num_edges); }
+
   /// Appends an edge, growing num_vertices to cover both endpoints.
   void AddEdge(VertexId src, VertexId dst);
 

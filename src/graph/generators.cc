@@ -19,6 +19,11 @@ EdgeList GenerateRoadNetwork(const RoadNetworkOptions& options) {
   GDP_CHECK_GT(h, 1u);
   VertexId n = static_cast<VertexId>(w) * h;
   EdgeList out("road-net", n, {});
+  // Upper bound: every grid road (two per cell) in both directions, plus
+  // both directions of each shortcut.
+  out.Reserve(4ull * n +
+              2 * static_cast<uint64_t>(options.shortcut_fraction *
+                                        static_cast<double>(n)));
 
   auto id = [w](uint32_t x, uint32_t y) {
     return static_cast<VertexId>(y) * w + x;
@@ -58,6 +63,10 @@ EdgeList GenerateHeavyTailed(const HeavyTailedOptions& options) {
   GDP_CHECK_GT(n, m);
   GDP_CHECK_GT(m, 0u);
   EdgeList out("heavy-tailed", n, {});
+  // Estimate: m attachment edges per vertex plus reciprocals and burst
+  // slack; one reallocation at worst instead of a doubling cascade.
+  out.Reserve(static_cast<uint64_t>(n) * m *
+              (2 + options.burst_multiplier / 4));
 
   // Endpoint pool: each element is a vertex, appearing once per incident
   // edge; sampling uniformly from the pool is degree-proportional sampling.
@@ -143,6 +152,7 @@ EdgeList GenerateRmat(const RmatOptions& options) {
   GDP_CHECK_LT(scale, 31u);
   const VertexId n = static_cast<VertexId>(1) << scale;
   EdgeList out("rmat", n, {});
+  out.Reserve(options.num_edges);
   const double a = options.a;
   const double ab = options.a + options.b;
   const double abc = ab + options.c;
@@ -175,6 +185,10 @@ EdgeList GenerateBipartite(const BipartiteOptions& options) {
   GDP_CHECK_GT(options.num_users, 0u);
   const VertexId n = options.num_items + options.num_users;
   EdgeList out("bipartite", n, {});
+  // Purchases per user are uniform on [1, 2*edges_per_user - 1]; reserve
+  // the upper bound.
+  out.Reserve(static_cast<uint64_t>(options.num_users) *
+              (2 * options.edges_per_user - 1));
   util::ZipfSampler item_dist(options.num_items, options.item_alpha);
   // Shuffle item popularity ranks, as in GeneratePowerLawWeb.
   std::vector<VertexId> item_perm(options.num_items);
@@ -198,6 +212,7 @@ EdgeList GenerateErdosRenyi(const ErdosRenyiOptions& options) {
   const VertexId n = options.num_vertices;
   GDP_CHECK_GT(n, 1u);
   EdgeList out("erdos-renyi", n, {});
+  out.Reserve(options.num_edges);
   std::unordered_set<uint64_t> seen;
   while (seen.size() < options.num_edges) {
     VertexId u = static_cast<VertexId>(rng.NextBounded(n));

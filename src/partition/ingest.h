@@ -11,7 +11,37 @@
 #include "sim/cluster.h"
 #include "sim/timeline.h"
 
+namespace gdp {
+namespace graph {
+class EdgeBlockStore;
+}  // namespace graph
+}  // namespace gdp
+
 namespace gdp::partition {
+
+/// Exact byte ledger of the streaming-ingress pipeline's resident working
+/// memory (the EdgeBlockStore overload of Ingest fills it via
+/// IngestOptions::memory_stats). Everything here is host memory the
+/// pipeline itself holds — distinct from the simulated cluster memory the
+/// IngressReport charges.
+struct IngestMemoryStats {
+  /// Decoded bytes one ring buffer holds (block_size_edges * sizeof(Edge)).
+  uint64_t block_bytes = 0;
+  /// Total decoded ring buffers across all loaders (ring depth * loaders
+  /// with decode overlap, one scratch per loader without).
+  uint64_t ring_buffers = 0;
+  /// ring_buffers * block_bytes — the decoded working set the
+  /// memory_budget_bytes knob bounds.
+  uint64_t ring_bytes = 0;
+  /// Partitioner bookkeeping at its largest (== report.peak_state_bytes).
+  uint64_t peak_state_bytes = 0;
+  /// ring_bytes + peak_state_bytes: the peak of the byte ledger the budget
+  /// is checked against.
+  uint64_t peak_ledger_bytes = 0;
+  /// Compressed store bytes (EdgeBlockStore::ResidentBytes()), reported for
+  /// context; the store is caller-owned and not part of the budget.
+  uint64_t store_resident_bytes = 0;
+};
 
 /// How masters are placed after partitioning.
 enum class MasterPolicy {
@@ -38,6 +68,44 @@ struct IngestOptions {
   /// Honor Partitioner::PreferredMaster (used with kVertexHash).
   bool use_partitioner_master_preference = false;
   uint64_t seed = 0x9d2c5680;
+
+  // --- Streaming ingress (the EdgeBlockStore overload; the flat EdgeList
+  // --- path ignores these) --------------------------------------------------
+
+  /// Byte budget for the pipeline's decoded working set (ring buffers +
+  /// partitioner state). 0 means unbounded: a fixed double-buffered ring of
+  /// two blocks per loader. Nonzero budgets size the ring depth down (never
+  /// below one buffer per loader — the streaming floor) so the decoded
+  /// resident set stays within budget; IngestMemoryStats reports the exact
+  /// ledger. Results are bit-identical at any budget: the budget changes
+  /// only how far decode runs ahead, never what is decoded or in what order
+  /// it is consumed.
+  uint64_t memory_budget_bytes = 0;
+  /// Run a small decoder crew so block decode overlaps the partition
+  /// kernels (and, for serialized multi-pass strategies, runs ahead of the
+  /// serial consumer). Off: each loader decodes its own blocks inline —
+  /// the baseline the bench_stream_ingest overlap claim compares against.
+  /// No effect on results, only on wall-clock. Ignored when
+  /// exec.num_threads resolves to 1 (inline contract).
+  bool overlap_decode = true;
+  /// Build DistributedGraph::edges (the engines need the flat vector).
+  /// false keeps the output graph edge-free — ingress-only memory
+  /// experiments (the peak-RSS probe, fig 9.4's budget axis) where the
+  /// whole point is never materializing 8 bytes/edge; finalize, degree
+  /// cache, and the report then stream from the compressed store too.
+  bool materialize_edges = true;
+  /// When set, the EdgeBlockStore overload writes its exact byte ledger
+  /// here. Deliberately NOT part of IngressReport: the report stays
+  /// bit-identical across {flat, block} paths.
+  IngestMemoryStats* memory_stats = nullptr;
+
+  // --- Convenience-path knobs (IngestWithStrategy only) ---------------------
+
+  /// Route IngestWithStrategy through a compressed EdgeBlockStore built
+  /// from the edge list (the harness seam: ExperimentSpec toggles this).
+  bool use_block_store = false;
+  /// Block size for that store; 0 = EdgeBlockStore's default.
+  uint32_t block_size_edges = 0;
 };
 
 /// Per-pass ingress CPU cost (in Partitioner work ticks, 0.05 units each)
@@ -86,6 +154,22 @@ struct IngestResult {
 /// once per machine in a canonical order at each pass barrier.
 IngestResult Ingest(const graph::EdgeList& edges, Partitioner& partitioner,
                     sim::Cluster& cluster, const IngestOptions& options = {});
+
+/// Streaming overload: same pipeline, fed from a compressed EdgeBlockStore
+/// instead of a flat edge vector. Loaders consume their contiguous edge
+/// range block by block through a bounded ring of decoded buffers
+/// (double-buffered against the partition kernels when
+/// options.overlap_decode is set), and multi-pass strategies re-stream each
+/// pass from the compressed store — the flat 8-bytes-per-edge input vector
+/// is never resident. Same determinism contract as the EdgeList overload,
+/// extended across representations: with materialize_edges set, the
+/// DistributedGraph, IngressReport, and every per-machine counter are
+/// bit-identical to Ingest()/IngestReference() on the materialized edge
+/// list, at any thread count, block size, ring depth, or budget
+/// (bench_stream_ingest gates this for all 13 strategies).
+IngestResult Ingest(const graph::EdgeBlockStore& store,
+                    Partitioner& partitioner, sim::Cluster& cluster,
+                    const IngestOptions& options = {});
 
 /// Serial reference implementation of Ingest — the oracle for the parallel
 /// pipeline's determinism contract. Single-threaded, no thread pool, no

@@ -6,7 +6,10 @@
 #   1. plain build (RelWithDebInfo, -Wall -Wextra -Werror) + full ctest
 #      suite, which includes the gdp_lint source linter (and its
 #      determinism-contract rules: no-wall-clock, no-float-accumulate,
-#      no-unordered-iteration, mutex-annotated, no-per-edge-accounting);
+#      no-unordered-iteration, mutex-annotated, no-per-edge-accounting),
+#      then the peak-RSS probe (tools/rss_probe.cc): a budgeted,
+#      unmaterialized block-streamed ingest whose host RSS growth must stay
+#      within the ingest byte ledger's prediction plus slack;
 #   2. native-arch kernel benches: rebuilds the engine-kernel claims
 #      benches with -DGDP_NATIVE_ARCH=ON (-march=native on bench/ targets
 #      only) and re-runs the kernel/engine scaling claims, so a
@@ -103,6 +106,20 @@ if run_leg "plain" "$ROOT/build-check" "" \
   pass "plain"
 else
   fail "plain"
+fi
+
+# Leg 1b: peak-RSS probe for the bounded streaming ingress. Runs the
+# budgeted, unmaterialized block-streamed ingest and asserts the process's
+# RSS growth stays within the byte ledger's prediction plus slack
+# (tools/rss_probe.cc). Uses leg 1's build tree.
+rss_leg() {
+  echo "=== [rss-probe] budgeted streaming ingest vs peak RSS ==="
+  "$ROOT/build-check/tools/rss_probe"
+}
+if rss_leg; then
+  pass "rss-probe"
+else
+  fail "rss-probe"
 fi
 
 if [[ "$QUICK" == "1" ]]; then
@@ -211,7 +228,7 @@ fi
 # them match).
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 if run_leg "tsan" "$ROOT/build-tsan" \
-  '(EngineDeterminism|EngineCorrectness|EngineAccounting|EngineEdge|ExecutionPlan|KCoreDeterminism|ThreadPool|DenseBitset|PhaseAccumulator|Machine|Cluster|Async|Ingest|GridRunner|PartitionCache|PlanCache|Obs|Serving)' \
+  '(EngineDeterminism|EngineCorrectness|EngineAccounting|EngineEdge|ExecutionPlan|KCoreDeterminism|ThreadPool|DenseBitset|PhaseAccumulator|Machine|Cluster|Async|Ingest|GridRunner|PartitionCache|PlanCache|Obs|Serving|EdgeBlockStore|StreamIngest)' \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGDP_SANITIZE=thread; then
   pass "tsan"
