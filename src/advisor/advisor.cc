@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "partition/ingest.h"
+#include "partition/strategy_registry.h"
 #include "sim/cluster.h"
 
 namespace gdp::advisor {
@@ -152,6 +153,51 @@ ProbeResult ProbeStrategies(
             [](const auto& a, const auto& b) { return a.second < b.second; });
   result.best = result.ranking.front().first;
   return result;
+}
+
+Recommendation RecommendExpansionFamily(const Workload& workload) {
+  // NE's resident state is roughly the buffered edge list plus the chunk
+  // CSR: edge + two adjacency entries + plan slot, ~28 bytes per edge.
+  constexpr uint64_t kNeBytesPerEdge = 28;
+  const uint64_t budget = workload.ingress_memory_budget_bytes;
+  const uint64_t ne_bytes = workload.num_edges * kNeBytesPerEdge;
+  if (budget == 0 || ne_bytes <= budget) {
+    return {{StrategyKind::kNe},
+            "expansion family -> whole graph fits the budget -> NE"};
+  }
+  // The budget binds: choose among the registry's budget-aware members.
+  // (Today that set is {SNE, HEP}; a registered budget-aware newcomer
+  // automatically becomes eligible here.)
+  const std::vector<StrategyKind> budget_aware =
+      partition::MemoryBudgetAwareStrategies();
+  const bool skewed = workload.graph_class != GraphClass::kLowDegree;
+  std::vector<StrategyKind> ranked;
+  if (skewed) {
+    // Hub exclusion shrinks the in-memory phase dramatically on skewed
+    // graphs, so HEP first; SNE as the chunked alternative.
+    for (StrategyKind k : budget_aware) {
+      if (k == StrategyKind::kHep) ranked.push_back(k);
+    }
+    for (StrategyKind k : budget_aware) {
+      if (k != StrategyKind::kHep) ranked.push_back(k);
+    }
+  } else {
+    // No hubs to exclude: chunked expansion keeps quality, so SNE first.
+    for (StrategyKind k : budget_aware) {
+      if (k != StrategyKind::kHep) ranked.push_back(k);
+    }
+    for (StrategyKind k : budget_aware) {
+      if (k == StrategyKind::kHep) ranked.push_back(k);
+    }
+  }
+  // Bounded-state streaming fallback for when even chunked expansion is
+  // unwelcome (e.g. a strict single-pass-quality requirement).
+  ranked.push_back(StrategyKind::kTwoPs);
+  return {ranked, skewed
+                      ? "expansion family -> budget binds -> skewed graph "
+                        "-> HEP, then SNE/2PS"
+                      : "expansion family -> budget binds -> low-degree "
+                        "graph -> SNE, then HEP/2PS"};
 }
 
 Recommendation Recommend(System system, const Workload& workload) {

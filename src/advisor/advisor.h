@@ -30,6 +30,13 @@ struct Workload {
   /// direction and scatters to the other (§6.1). Only PowerLyra's tree
   /// consults this.
   bool natural_application = false;
+  /// Ingress memory budget in bytes (0 = unbounded). Only the
+  /// expansion-family tree consults this: it decides whether in-memory NE
+  /// fits, and which budget-aware fallback to take when it does not.
+  uint64_t ingress_memory_budget_bytes = 0;
+  /// Edge count of the input (0 = unknown); sizes NE's resident state for
+  /// the budget test above.
+  uint64_t num_edges = 0;
 };
 
 /// A strategy recommendation plus the tree path that produced it.
@@ -65,6 +72,15 @@ Recommendation RecommendGraphX(const Workload& workload,
 
 /// Dispatches on `system` (native strategy sets).
 Recommendation Recommend(System system, const Workload& workload);
+
+/// Picks within the neighbour-expansion family (NE/SNE/2PS/HEP) from the
+/// registry's traits rather than a hard-coded tree: when the workload has
+/// no budget (or NE's whole-graph state fits it), replication quality wins
+/// and NE is recommended; under a binding budget the budget-aware members
+/// (from partition::MemoryBudgetAwareStrategies()) take over — HEP when
+/// the graph is skewed enough that hub exclusion buys headroom, SNE
+/// otherwise — with 2PS as the bounded-state streaming fallback.
+Recommendation RecommendExpansionFamily(const Workload& workload);
 
 /// Measurement-based alternative to the decision trees: streams only the
 /// first `sample_fraction` of the edge list through each candidate

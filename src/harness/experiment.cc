@@ -62,6 +62,9 @@ partition::PartitionContext PartitionContextFor(const graph::EdgeList& edges,
   context.num_loaders =
       spec.num_loaders == 0 ? spec.num_machines : spec.num_loaders;
   context.seed = spec.seed;
+  // Budget-aware strategies (SNE, HEP) size their resident state from the
+  // same knob that bounds the streaming-ingress working set.
+  context.memory_budget_bytes = spec.ingress_memory_budget_bytes;
   return context;
 }
 

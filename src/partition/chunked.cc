@@ -1,5 +1,11 @@
 #include "partition/chunked.h"
 
+#include <memory>
+#include <utility>
+
+#include "partition/strategy_registration.h"
+#include "partition/strategy_registry.h"
+
 #include <algorithm>
 
 #include "util/check.h"
@@ -84,6 +90,18 @@ uint64_t ChunkedPartitioner::ApproxStateBytes() const {
 
 MachineId ChunkedPartitioner::PreferredMaster(graph::VertexId v) const {
   return ChunkOf(v);
+}
+
+
+void RegisterChunkedStrategies() {
+  StrategyRegistry::Instance().Register(StrategyInfo{
+      .kind = StrategyKind::kChunked,
+      .name = "Chunked",
+      .traits = {.passes_required = 2, .needs_degree_precompute = true},
+      .factory = [](const PartitionContext& context)
+          -> std::unique_ptr<Partitioner> {
+        return std::make_unique<ChunkedPartitioner>(context);
+      }});
 }
 
 }  // namespace gdp::partition

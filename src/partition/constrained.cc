@@ -1,5 +1,11 @@
 #include "partition/constrained.h"
 
+#include <memory>
+#include <utility>
+
+#include "partition/strategy_registration.h"
+#include "partition/strategy_registry.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -190,6 +196,37 @@ MachineId PdsPartitioner::Assign(const graph::Edge& e, uint32_t pass,
   GDP_CHECK(!common.empty());
   uint64_t pick = HashCanonicalEdge(e.src, e.dst) % common.size();
   return common[pick];
+}
+
+
+void RegisterConstrainedStrategies() {
+  StrategyRegistry& registry = StrategyRegistry::Instance();
+  registry.Register(StrategyInfo{
+      .kind = StrategyKind::kGrid,
+      .name = "Grid",
+      .traits = {.system_families = kFamilyPowerGraph | kFamilyPowerLyra,
+                 .power_graph_rank = 1,
+                 .power_lyra_rank = 1,
+                 .in_paper_roster = true,
+                 .paper_roster_rank = 4},
+      .factory = [](const PartitionContext& context)
+          -> std::unique_ptr<Partitioner> {
+        return std::make_unique<GridPartitioner>(context);
+      }});
+  registry.Register(StrategyInfo{
+      .kind = StrategyKind::kPds,
+      .name = "PDS",
+      .traits = {.system_families = kFamilyPowerGraph | kFamilyPowerLyra,
+                 .power_graph_rank = 4,
+                 .power_lyra_rank = 5,
+                 .in_paper_roster = true,
+                 .paper_roster_rank = 5},
+      .factory = [](const PartitionContext& context)
+          -> std::unique_ptr<Partitioner> {
+        auto result = PdsPartitioner::Create(context);
+        GDP_CHECK(result.ok());
+        return std::move(result).value();
+      }});
 }
 
 }  // namespace gdp::partition

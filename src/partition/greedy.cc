@@ -1,5 +1,11 @@
 #include "partition/greedy.h"
 
+#include <memory>
+#include <utility>
+
+#include "partition/strategy_registration.h"
+#include "partition/strategy_registry.h"
+
 #include <algorithm>
 #include <limits>
 
@@ -238,6 +244,34 @@ MachineId HdrfPartitioner::Assign(const graph::Edge& e, uint32_t pass,
   state.replicas.Add(e.dst, chosen);
   state.AddEdgeTo(chosen);
   return chosen;
+}
+
+
+void RegisterGreedyStrategies() {
+  StrategyRegistry& registry = StrategyRegistry::Instance();
+  registry.Register(StrategyInfo{
+      .kind = StrategyKind::kOblivious,
+      .name = "Oblivious",
+      .traits = {.system_families = kFamilyPowerGraph | kFamilyPowerLyra,
+                 .power_graph_rank = 2,
+                 .power_lyra_rank = 2,
+                 .in_paper_roster = true,
+                 .paper_roster_rank = 9},
+      .factory = [](const PartitionContext& context)
+          -> std::unique_ptr<Partitioner> {
+        return std::make_unique<ObliviousPartitioner>(context);
+      }});
+  registry.Register(StrategyInfo{
+      .kind = StrategyKind::kHdrf,
+      .name = "HDRF",
+      .traits = {.system_families = kFamilyPowerGraph,
+                 .power_graph_rank = 3,
+                 .in_paper_roster = true,
+                 .paper_roster_rank = 6},
+      .factory = [](const PartitionContext& context)
+          -> std::unique_ptr<Partitioner> {
+        return std::make_unique<HdrfPartitioner>(context);
+      }});
 }
 
 }  // namespace gdp::partition

@@ -1,7 +1,10 @@
 #include "partition/hash_partitioners.h"
 
 #include <cmath>
+#include <memory>
 
+#include "partition/strategy_registration.h"
+#include "partition/strategy_registry.h"
 #include "util/hash.h"
 
 namespace gdp::partition {
@@ -70,6 +73,74 @@ MachineId DbhPartitioner::Assign(const graph::Edge& e, uint32_t pass,
       deg_src < deg_dst || (deg_src == deg_dst && e.src < e.dst) ? e.src
                                                                  : e.dst;
   return static_cast<MachineId>(Mix64(key ^ seed_) % num_partitions_);
+}
+
+void RegisterHashStrategies() {
+  StrategyRegistry& registry = StrategyRegistry::Instance();
+  registry.Register(StrategyInfo{
+      .kind = StrategyKind::kRandom,
+      .name = "Random",
+      .aliases = {"Canonical Random", "CanonicalRandom"},
+      .traits = {.system_families =
+                     kFamilyPowerGraph | kFamilyPowerLyra | kFamilyGraphX,
+                 .power_graph_rank = 0,
+                 .power_lyra_rank = 0,
+                 .graphx_rank = 1,
+                 .in_paper_roster = true,
+                 .paper_roster_rank = 10},
+      .factory = [](const PartitionContext& context)
+          -> std::unique_ptr<Partitioner> {
+        return std::make_unique<RandomPartitioner>(context);
+      }});
+  registry.Register(StrategyInfo{
+      .kind = StrategyKind::kAsymmetricRandom,
+      .name = "Assym-Rand",
+      .traits = {.system_families = kFamilyGraphX,
+                 .graphx_rank = 0,
+                 .in_paper_roster = true,
+                 .paper_roster_rank = 3},
+      .factory = [](const PartitionContext& context)
+          -> std::unique_ptr<Partitioner> {
+        return std::make_unique<AsymmetricRandomPartitioner>(context);
+      }});
+  registry.Register(StrategyInfo{
+      .kind = StrategyKind::kOneD,
+      .name = "1D",
+      .traits = {.system_families = kFamilyGraphX,
+                 .graphx_rank = 2,
+                 .in_paper_roster = true,
+                 .paper_roster_rank = 0},
+      .factory = [](const PartitionContext& context)
+          -> std::unique_ptr<Partitioner> {
+        return std::make_unique<OneDPartitioner>(context, /*by_target=*/false);
+      }});
+  registry.Register(StrategyInfo{
+      .kind = StrategyKind::kOneDTarget,
+      .name = "1D-Target",
+      .traits = {.in_paper_roster = true, .paper_roster_rank = 1},
+      .factory = [](const PartitionContext& context)
+          -> std::unique_ptr<Partitioner> {
+        return std::make_unique<OneDPartitioner>(context, /*by_target=*/true);
+      }});
+  registry.Register(StrategyInfo{
+      .kind = StrategyKind::kTwoD,
+      .name = "2D",
+      .traits = {.system_families = kFamilyGraphX,
+                 .graphx_rank = 3,
+                 .in_paper_roster = true,
+                 .paper_roster_rank = 2},
+      .factory = [](const PartitionContext& context)
+          -> std::unique_ptr<Partitioner> {
+        return std::make_unique<TwoDPartitioner>(context);
+      }});
+  registry.Register(StrategyInfo{
+      .kind = StrategyKind::kDbh,
+      .name = "DBH",
+      .traits = {.parallel_safe = false},
+      .factory = [](const PartitionContext& context)
+          -> std::unique_ptr<Partitioner> {
+        return std::make_unique<DbhPartitioner>(context);
+      }});
 }
 
 }  // namespace gdp::partition

@@ -1,5 +1,11 @@
 #include "partition/hybrid.h"
 
+#include <memory>
+#include <utility>
+
+#include "partition/strategy_registration.h"
+#include "partition/strategy_registry.h"
+
 #include <limits>
 
 #include "util/hash.h"
@@ -206,6 +212,39 @@ MachineId HybridGingerPartitioner::PreferredMaster(graph::VertexId v) const {
     return ginger_target_[v];
   }
   return vertex_partition_.empty() ? HashVertex(v) : vertex_partition_[v];
+}
+
+
+void RegisterHybridStrategies() {
+  StrategyRegistry& registry = StrategyRegistry::Instance();
+  registry.Register(StrategyInfo{
+      .kind = StrategyKind::kHybrid,
+      .name = "Hybrid",
+      .traits = {.passes_required = 2,
+                 .needs_degree_precompute = true,
+                 .system_families = kFamilyPowerLyra,
+                 .power_lyra_rank = 3,
+                 .in_paper_roster = true,
+                 .paper_roster_rank = 7},
+      .factory = [](const PartitionContext& context)
+          -> std::unique_ptr<Partitioner> {
+        return std::make_unique<HybridPartitioner>(context);
+      }});
+  registry.Register(StrategyInfo{
+      .kind = StrategyKind::kHybridGinger,
+      .name = "H-Ginger",
+      .aliases = {"Hybrid-Ginger"},
+      .traits = {.passes_required = 3,
+                 .parallel_safe = false,
+                 .needs_degree_precompute = true,
+                 .system_families = kFamilyPowerLyra,
+                 .power_lyra_rank = 4,
+                 .in_paper_roster = true,
+                 .paper_roster_rank = 8},
+      .factory = [](const PartitionContext& context)
+          -> std::unique_ptr<Partitioner> {
+        return std::make_unique<HybridGingerPartitioner>(context);
+      }});
 }
 
 }  // namespace gdp::partition

@@ -826,6 +826,11 @@ IngestResult IngestWithStrategy(const graph::EdgeList& edges,
                                 const IngestOptions& options) {
   PartitionContext ctx = context;
   if (ctx.num_vertices == 0) ctx.num_vertices = edges.num_vertices();
+  // Budget-aware strategies read the same knob the streaming pipeline
+  // honors; a context that already carries a budget wins.
+  if (ctx.memory_budget_bytes == 0) {
+    ctx.memory_budget_bytes = options.memory_budget_bytes;
+  }
   std::unique_ptr<Partitioner> partitioner = MakePartitioner(kind, ctx);
   if (options.use_block_store) {
     graph::EdgeBlockStore::Options store_options;

@@ -1,125 +1,86 @@
 #include "partition/partitioner.h"
 
-#include "partition/constrained.h"
-#include "partition/greedy.h"
-#include "partition/hash_partitioners.h"
-#include "partition/chunked.h"
-#include "partition/hybrid.h"
+#include <algorithm>
+
+#include "partition/strategy_registration.h"
+#include "partition/strategy_registry.h"
 #include "util/check.h"
 
 namespace gdp::partition {
+namespace {
+
+/// Registered strategies with the family bit set, ordered by that family's
+/// rank — the paper's Table 1.1 roster orders, reconstructed from traits.
+std::vector<StrategyKind> FamilyRoster(uint32_t family_bit,
+                                       int StrategyTraits::* rank) {
+  EnsureBuiltinStrategiesRegistered();
+  std::vector<const StrategyInfo*> members;
+  for (const StrategyInfo* info : StrategyRegistry::Instance().All()) {
+    if (info->traits.system_families & family_bit) members.push_back(info);
+  }
+  std::sort(members.begin(), members.end(),
+            [rank](const StrategyInfo* a, const StrategyInfo* b) {
+              return a->traits.*rank < b->traits.*rank;
+            });
+  std::vector<StrategyKind> kinds;
+  kinds.reserve(members.size());
+  for (const StrategyInfo* info : members) kinds.push_back(info->kind);
+  return kinds;
+}
+
+}  // namespace
 
 const std::vector<StrategyKind>& AllStrategies() {
-  static const std::vector<StrategyKind> kAll{
-      StrategyKind::kOneD,      StrategyKind::kOneDTarget,
-      StrategyKind::kTwoD,      StrategyKind::kAsymmetricRandom,
-      StrategyKind::kGrid,      StrategyKind::kPds,
-      StrategyKind::kHdrf,      StrategyKind::kHybrid,
-      StrategyKind::kHybridGinger, StrategyKind::kOblivious,
-      StrategyKind::kRandom,
-  };
+  static const std::vector<StrategyKind> kAll = [] {
+    EnsureBuiltinStrategiesRegistered();
+    std::vector<const StrategyInfo*> members;
+    for (const StrategyInfo* info : StrategyRegistry::Instance().All()) {
+      if (info->traits.in_paper_roster) members.push_back(info);
+    }
+    std::sort(members.begin(), members.end(),
+              [](const StrategyInfo* a, const StrategyInfo* b) {
+                return a->traits.paper_roster_rank <
+                       b->traits.paper_roster_rank;
+              });
+    std::vector<StrategyKind> all;
+    all.reserve(members.size());
+    for (const StrategyInfo* info : members) all.push_back(info->kind);
+    return all;
+  }();
   return kAll;
 }
 
 const char* StrategyName(StrategyKind kind) {
-  switch (kind) {
-    case StrategyKind::kRandom:
-      return "Random";
-    case StrategyKind::kAsymmetricRandom:
-      return "Assym-Rand";
-    case StrategyKind::kGrid:
-      return "Grid";
-    case StrategyKind::kPds:
-      return "PDS";
-    case StrategyKind::kOblivious:
-      return "Oblivious";
-    case StrategyKind::kHdrf:
-      return "HDRF";
-    case StrategyKind::kHybrid:
-      return "Hybrid";
-    case StrategyKind::kHybridGinger:
-      return "H-Ginger";
-    case StrategyKind::kOneD:
-      return "1D";
-    case StrategyKind::kOneDTarget:
-      return "1D-Target";
-    case StrategyKind::kTwoD:
-      return "2D";
-    case StrategyKind::kChunked:
-      return "Chunked";
-    case StrategyKind::kDbh:
-      return "DBH";
-  }
-  return "Unknown";
+  EnsureBuiltinStrategiesRegistered();
+  const StrategyInfo* info = StrategyRegistry::Instance().Find(kind);
+  return info != nullptr ? info->name.c_str() : "Unknown";
 }
 
 util::StatusOr<StrategyKind> StrategyFromName(const std::string& name) {
-  for (StrategyKind kind : AllStrategies()) {
-    if (name == StrategyName(kind)) return kind;
-  }
-  // Extensions beyond the paper's set (not in AllStrategies).
-  for (StrategyKind kind : {StrategyKind::kChunked, StrategyKind::kDbh}) {
-    if (name == StrategyName(kind)) return kind;
-  }
-  // Aliases used in the paper's text.
-  if (name == "Canonical Random" || name == "CanonicalRandom") {
-    return StrategyKind::kRandom;
-  }
-  if (name == "Hybrid-Ginger") return StrategyKind::kHybridGinger;
+  EnsureBuiltinStrategiesRegistered();
+  const StrategyInfo* info = StrategyRegistry::Instance().FindByName(name);
+  if (info != nullptr) return info->kind;
   return util::Status::NotFound("unknown strategy: " + name);
 }
 
 std::vector<StrategyKind> PowerGraphStrategies() {
-  return {StrategyKind::kRandom, StrategyKind::kGrid,
-          StrategyKind::kOblivious, StrategyKind::kHdrf, StrategyKind::kPds};
+  return FamilyRoster(kFamilyPowerGraph, &StrategyTraits::power_graph_rank);
 }
 
 std::vector<StrategyKind> PowerLyraStrategies() {
-  return {StrategyKind::kRandom,  StrategyKind::kGrid,
-          StrategyKind::kOblivious, StrategyKind::kHybrid,
-          StrategyKind::kHybridGinger, StrategyKind::kPds};
+  return FamilyRoster(kFamilyPowerLyra, &StrategyTraits::power_lyra_rank);
 }
 
 std::vector<StrategyKind> GraphXStrategies() {
-  return {StrategyKind::kAsymmetricRandom, StrategyKind::kRandom,
-          StrategyKind::kOneD, StrategyKind::kTwoD};
+  return FamilyRoster(kFamilyGraphX, &StrategyTraits::graphx_rank);
 }
 
 std::unique_ptr<Partitioner> MakePartitioner(
     StrategyKind kind, const PartitionContext& context) {
-  switch (kind) {
-    case StrategyKind::kRandom:
-      return std::make_unique<RandomPartitioner>(context);
-    case StrategyKind::kAsymmetricRandom:
-      return std::make_unique<AsymmetricRandomPartitioner>(context);
-    case StrategyKind::kGrid:
-      return std::make_unique<GridPartitioner>(context);
-    case StrategyKind::kPds: {
-      auto result = PdsPartitioner::Create(context);
-      GDP_CHECK(result.ok());
-      return std::move(result).value();
-    }
-    case StrategyKind::kOblivious:
-      return std::make_unique<ObliviousPartitioner>(context);
-    case StrategyKind::kHdrf:
-      return std::make_unique<HdrfPartitioner>(context);
-    case StrategyKind::kHybrid:
-      return std::make_unique<HybridPartitioner>(context);
-    case StrategyKind::kHybridGinger:
-      return std::make_unique<HybridGingerPartitioner>(context);
-    case StrategyKind::kOneD:
-      return std::make_unique<OneDPartitioner>(context, /*by_target=*/false);
-    case StrategyKind::kOneDTarget:
-      return std::make_unique<OneDPartitioner>(context, /*by_target=*/true);
-    case StrategyKind::kTwoD:
-      return std::make_unique<TwoDPartitioner>(context);
-    case StrategyKind::kChunked:
-      return std::make_unique<ChunkedPartitioner>(context);
-    case StrategyKind::kDbh:
-      return std::make_unique<DbhPartitioner>(context);
-  }
-  GDP_CHECK(false);
-  return nullptr;
+  EnsureBuiltinStrategiesRegistered();
+  const StrategyInfo* info = StrategyRegistry::Instance().Find(kind);
+  GDP_CHECK(info != nullptr);
+  return info->factory(context);
 }
 
 }  // namespace gdp::partition

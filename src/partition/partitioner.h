@@ -42,6 +42,18 @@ enum class StrategyKind {
   /// a one-pass degree-aware hash. Not part of AllStrategies; see
   /// bench_ablation_dbh.
   kDbh,
+  /// Post-paper neighbourhood-expansion family (not in AllStrategies —
+  /// the paper's grids exclude them; see bench_ne_family):
+  /// NE: in-memory core-set expansion (Zhang et al., KDD'17).
+  kNe,
+  /// SNE: streaming NE over bounded-memory chunks.
+  kSne,
+  /// 2PS: two-phase streaming — clustering pass + cluster-aware greedy.
+  kTwoPs,
+  /// HEP-style hybrid: in-memory NE for low-degree vertices' edges,
+  /// degree-based hashing for the high-degree remainder, split threshold
+  /// derived from the memory budget (Mayer & Jacobsen, 2021).
+  kHep,
 };
 
 /// All strategies, in a stable display order.
@@ -76,6 +88,14 @@ struct PartitionContext {
   /// HDRF uses partial degrees when true (the shipped behaviour); exact
   /// degrees when false (the ablation the HDRF authors discuss).
   bool hdrf_partial_degrees = true;
+  /// Ingress memory budget in bytes (0 = unbounded). Strategies whose
+  /// StrategyTraits declare memory_budget_aware condition their *results*
+  /// on it: SNE sizes its resident expansion chunk from it, HEP derives
+  /// its low/high-degree split threshold from it. Mirrors
+  /// IngestOptions::memory_budget_bytes (which bounds only the decode
+  /// ring and never changes results); IngestWithStrategy copies the
+  /// option in when the context leaves this 0.
+  uint64_t memory_budget_bytes = 0;
 };
 
 /// Streaming edge-partitioner interface. The Ingestor drives one or more
@@ -197,7 +217,9 @@ class Partitioner {
   std::vector<uint64_t> work_ticks_;
 };
 
-/// Factory for any strategy.
+/// Factory for any strategy. A thin wrapper over
+/// StrategyRegistry::Instance().Find(kind)->factory (strategy_registry.h);
+/// dies on an unregistered kind.
 std::unique_ptr<Partitioner> MakePartitioner(StrategyKind kind,
                                              const PartitionContext& context);
 

@@ -1,0 +1,178 @@
+#ifndef GDP_UTIL_MIN_HEAP_H_
+#define GDP_UTIL_MIN_HEAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gdp::util {
+
+/// Addressable 4-ary min-heap over integer ids in [0, capacity) with
+/// decrease-key — the boundary queue of neighbourhood-expansion
+/// partitioners (NE pops the boundary vertex with the fewest unassigned
+/// incident edges every step, and decreases neighbour keys as edges get
+/// assigned). A 4-ary layout halves the tree depth of a binary heap and
+/// keeps the four children of a node in one cache line of keys, which is
+/// the standard choice for heaps whose keys are small integers (d-ary
+/// heap; see also the min_heap in the HEP/NE reference partitioners).
+///
+/// Ordering is lexicographic on (key, id): equal keys pop in ascending id
+/// order, so iteration order — and every partitioner built on it — is a
+/// pure function of the inserted set, never of insertion history. That is
+/// what makes the expansion strategies bit-identical across thread counts.
+///
+/// Single-writer; not thread-safe. All operations are O(log4 n) except
+/// Contains/Min (O(1)).
+template <typename Key, typename Id = uint32_t>
+class MinHeap {
+ public:
+  MinHeap() = default;
+  explicit MinHeap(Id capacity) { Reset(capacity); }
+
+  /// Empties the heap and sizes the id universe to [0, capacity).
+  void Reset(Id capacity) {
+    nodes_.clear();
+    pos_.assign(capacity, kNotInHeap);
+  }
+
+  uint64_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  Id capacity() const { return static_cast<Id>(pos_.size()); }
+
+  bool Contains(Id id) const {
+    GDP_DCHECK_LT(static_cast<uint64_t>(id), pos_.size());
+    return pos_[id] != kNotInHeap;
+  }
+
+  /// Key of a contained id.
+  Key KeyOf(Id id) const {
+    GDP_DCHECK(Contains(id));
+    return nodes_[pos_[id]].key;
+  }
+
+  /// Inserts `id` (must not be contained) with `key`.
+  void Insert(Id id, Key key) {
+    GDP_DCHECK(!Contains(id));
+    pos_[id] = static_cast<uint32_t>(nodes_.size());
+    nodes_.push_back(Node{key, id});
+    SiftUp(nodes_.size() - 1);
+  }
+
+  /// Lowers `id`'s key to `key` (no-op unless strictly smaller).
+  void DecreaseKey(Id id, Key key) {
+    GDP_DCHECK(Contains(id));
+    const uint64_t i = pos_[id];
+    if (!(key < nodes_[i].key)) return;
+    nodes_[i].key = key;
+    SiftUp(i);
+  }
+
+  /// Inserts or decrease-keys, whichever applies.
+  void InsertOrDecrease(Id id, Key key) {
+    if (Contains(id)) {
+      DecreaseKey(id, key);
+    } else {
+      Insert(id, key);
+    }
+  }
+
+  /// The minimum (key, id) pair without removing it.
+  std::pair<Key, Id> Min() const {
+    GDP_DCHECK(!empty());
+    return {nodes_[0].key, nodes_[0].id};
+  }
+
+  /// Removes and returns the minimum (key, id) pair.
+  std::pair<Key, Id> PopMin() {
+    std::pair<Key, Id> min = Min();
+    RemoveAt(0);
+    return min;
+  }
+
+  /// Removes `id` if contained; returns whether it was.
+  bool Remove(Id id) {
+    GDP_DCHECK_LT(static_cast<uint64_t>(id), pos_.size());
+    if (!Contains(id)) return false;
+    RemoveAt(pos_[id]);
+    return true;
+  }
+
+  /// Empties the heap, keeping the id universe (O(contained)).
+  void Clear() {
+    for (const Node& n : nodes_) pos_[n.id] = kNotInHeap;
+    nodes_.clear();
+  }
+
+  /// Approximate footprint: the node array plus the position index.
+  uint64_t ApproxBytes() const {
+    return nodes_.capacity() * sizeof(Node) + pos_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  struct Node {
+    Key key;
+    Id id;
+    /// Lexicographic (key, id): ties break toward the smaller id.
+    bool operator<(const Node& o) const {
+      return key < o.key || (!(o.key < key) && id < o.id);
+    }
+  };
+
+  static constexpr uint32_t kNotInHeap = static_cast<uint32_t>(-1);
+
+  void Place(uint64_t i, Node n) {
+    nodes_[i] = n;
+    pos_[n.id] = static_cast<uint32_t>(i);
+  }
+
+  void SiftUp(uint64_t i) {
+    Node moving = nodes_[i];
+    while (i > 0) {
+      const uint64_t parent = (i - 1) / 4;
+      if (!(moving < nodes_[parent])) break;
+      Place(i, nodes_[parent]);
+      i = parent;
+    }
+    Place(i, moving);
+  }
+
+  void SiftDown(uint64_t i) {
+    Node moving = nodes_[i];
+    const uint64_t n = nodes_.size();
+    for (;;) {
+      const uint64_t first_child = 4 * i + 1;
+      if (first_child >= n) break;
+      uint64_t best = first_child;
+      const uint64_t last_child = std::min(first_child + 4, n);
+      for (uint64_t c = first_child + 1; c < last_child; ++c) {
+        if (nodes_[c] < nodes_[best]) best = c;
+      }
+      if (!(nodes_[best] < moving)) break;
+      Place(i, nodes_[best]);
+      i = best;
+    }
+    Place(i, moving);
+  }
+
+  void RemoveAt(uint64_t i) {
+    pos_[nodes_[i].id] = kNotInHeap;
+    const Node last = nodes_.back();
+    nodes_.pop_back();
+    if (i == nodes_.size()) return;
+    Place(i, last);
+    // The hole's replacement may need to move either direction.
+    SiftDown(i);
+    SiftUp(pos_[last.id]);
+  }
+
+  std::vector<Node> nodes_;
+  /// pos_[id] = index into nodes_, or kNotInHeap.
+  std::vector<uint32_t> pos_;
+};
+
+}  // namespace gdp::util
+
+#endif  // GDP_UTIL_MIN_HEAP_H_

@@ -191,6 +191,36 @@ TEST(AdvisorTest, DispatchMatchesPerSystemFunctions) {
             RecommendGraphX(w).primary());
 }
 
+// ---------------------------------------------------------------------------
+// Expansion-family rule (registry-trait driven, not a paper tree)
+// ---------------------------------------------------------------------------
+
+TEST(AdvisorTest, ExpansionFamilyPrefersNeWhenGraphFits) {
+  Workload w = Make(GraphClass::kHeavyTailed, 1.0, 9);
+  w.num_edges = 1000;
+  // No budget at all -> quality wins.
+  EXPECT_EQ(RecommendExpansionFamily(w).primary(), StrategyKind::kNe);
+  // A budget comfortably above NE's whole-graph state -> still NE.
+  w.ingress_memory_budget_bytes = 1 << 20;
+  EXPECT_EQ(RecommendExpansionFamily(w).primary(), StrategyKind::kNe);
+}
+
+TEST(AdvisorTest, ExpansionFamilyBindingBudgetSplitsOnSkew) {
+  Workload w = Make(GraphClass::kHeavyTailed, 1.0, 9);
+  w.num_edges = 1 << 20;
+  w.ingress_memory_budget_bytes = 1 << 10;  // far below 28 B/edge * |E|
+  Recommendation skewed = RecommendExpansionFamily(w);
+  EXPECT_EQ(skewed.primary(), StrategyKind::kHep);
+  // Every recommended strategy is budget-aware except the 2PS fallback.
+  EXPECT_EQ(skewed.strategies.back(), StrategyKind::kTwoPs);
+
+  w.graph_class = GraphClass::kLowDegree;
+  Recommendation flat = RecommendExpansionFamily(w);
+  EXPECT_EQ(flat.primary(), StrategyKind::kSne);
+  EXPECT_EQ(flat.strategies.back(), StrategyKind::kTwoPs);
+  EXPECT_NE(skewed.rationale, flat.rationale);
+}
+
 TEST(AdvisorTest, RationaleIsNonEmptyEverywhere) {
   for (auto system :
        {System::kPowerGraph, System::kPowerLyra, System::kGraphX}) {

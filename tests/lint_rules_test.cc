@@ -419,6 +419,69 @@ struct BadServer {
 }
 
 // ---------------------------------------------------------------------------
+// Registry shape: the self-registering strategy-catalogue pattern used by
+// src/partition/strategy_registry.h — entries in a mutex-guarded vector
+// (deterministic registration-order iteration, never a hash container) —
+// must pass every rule untouched, and the tempting shortcuts (a bare
+// registry mutex, a name->entry unordered_map iterated for All()) must
+// each fire.
+// ---------------------------------------------------------------------------
+
+TEST(LintRegistryShape, GuardedVectorCataloguePassesClean) {
+  LintFixture fx;
+  fx.AddFile("src/partition/mini_registry.h", Header(R"(
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+struct Entry {
+  int kind = 0;
+  std::string name;
+};
+struct MiniRegistry {
+  void Register(Entry e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.push_back(std::make_unique<Entry>(e));
+  }
+  const Entry* FindByName(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : entries_) {
+      if (entry->name == name) return entry.get();
+    }
+    return nullptr;
+  }
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_ GDP_GUARDED_BY(mu_);
+};
+)"));
+  const auto r = fx.Run();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(r.findings.empty()) << r.output;
+}
+
+TEST(LintRegistryShape, BareMutexAndUnorderedIterationFire) {
+  LintFixture fx;
+  fx.AddFile("src/partition/bad_registry.h", Header(R"(
+#include <mutex>
+#include <string>
+#include <unordered_map>
+struct BadRegistry {
+  void All() {
+    for (auto& kv : by_name_) { (void)kv; }
+  }
+  std::unordered_map<std::string, int> by_name_;
+  std::mutex registry_mu_;
+};
+)"));
+  const auto r = fx.Run();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_TRUE(HasFinding(r, "no-unordered-iteration", "bad_registry.h:8"))
+      << r.output;
+  EXPECT_TRUE(HasFinding(r, "mutex-annotated", "bad_registry.h:11"))
+      << r.output;
+}
+
+// ---------------------------------------------------------------------------
 // Raw string literals must not leak into rule matching (the stripper
 // handles R"(...)" including embedded quotes and multi-line bodies).
 // ---------------------------------------------------------------------------

@@ -1,0 +1,150 @@
+// util::MinHeap — the addressable 4-ary min-heap behind the expansion
+// family's boundary sets. The contract the partitioners lean on: strict
+// (key, id) lexicographic Min/PopMin order, DecreaseKey only ever lowers a
+// key, and Contains/KeyOf stay truthful across arbitrary interleavings.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/min_heap.h"
+#include "util/random.h"
+
+namespace gdp::util {
+namespace {
+
+TEST(MinHeapTest, PopsInKeyThenIdOrder) {
+  MinHeap<uint32_t> heap;
+  heap.Reset(8);
+  heap.Insert(/*id=*/5, /*key=*/3);
+  heap.Insert(/*id=*/7, /*key=*/1);
+  heap.Insert(/*id=*/2, /*key=*/3);
+  heap.Insert(/*id=*/6, /*key=*/1);
+  heap.Insert(/*id=*/0, /*key=*/2);
+
+  std::vector<std::pair<uint32_t, uint32_t>> popped;
+  while (!heap.empty()) popped.push_back(heap.PopMin());
+  std::vector<std::pair<uint32_t, uint32_t>> expected = {
+      {1, 6}, {1, 7}, {2, 0}, {3, 2}, {3, 5}};
+  EXPECT_EQ(popped, expected);
+}
+
+TEST(MinHeapTest, DecreaseKeyReordersAndNeverIncreases) {
+  MinHeap<uint32_t> heap;
+  heap.Reset(4);
+  heap.Insert(0, 10);
+  heap.Insert(1, 20);
+  heap.Insert(2, 30);
+
+  heap.DecreaseKey(2, 5);
+  EXPECT_EQ(heap.KeyOf(2), 5u);
+  EXPECT_EQ(heap.Min().second, 2u);
+
+  // A larger "decrease" must be a no-op, not a corruption.
+  heap.DecreaseKey(2, 50);
+  EXPECT_EQ(heap.KeyOf(2), 5u);
+  EXPECT_EQ(heap.Min().second, 2u);
+}
+
+TEST(MinHeapTest, InsertOrDecreaseCoversBothPaths) {
+  MinHeap<uint32_t> heap;
+  heap.Reset(4);
+  heap.InsertOrDecrease(3, 7);  // insert path
+  EXPECT_TRUE(heap.Contains(3));
+  EXPECT_EQ(heap.KeyOf(3), 7u);
+  heap.InsertOrDecrease(3, 4);  // decrease path
+  EXPECT_EQ(heap.KeyOf(3), 4u);
+  EXPECT_EQ(heap.size(), 1u);
+}
+
+TEST(MinHeapTest, RemoveMiddleKeepsHeapConsistent) {
+  MinHeap<uint32_t> heap;
+  heap.Reset(16);
+  for (uint32_t i = 0; i < 16; ++i) heap.Insert(i, 100 - i);
+  heap.Remove(10);
+  EXPECT_FALSE(heap.Contains(10));
+  EXPECT_EQ(heap.size(), 15u);
+
+  uint32_t last = 0;
+  while (!heap.empty()) {
+    auto [key, id] = heap.PopMin();
+    EXPECT_NE(id, 10u);
+    EXPECT_GE(key, last);
+    last = key;
+  }
+}
+
+TEST(MinHeapTest, ClearOnlyTouchesContainedIds) {
+  MinHeap<uint32_t> heap;
+  heap.Reset(8);
+  heap.Insert(1, 1);
+  heap.Insert(2, 2);
+  heap.Clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_FALSE(heap.Contains(1));
+  EXPECT_FALSE(heap.Contains(2));
+  // Reusable after Clear without another Reset.
+  heap.Insert(4, 9);
+  EXPECT_EQ(heap.Min(), (std::pair<uint32_t, uint32_t>{9, 4}));
+}
+
+// Randomized cross-check against a linear-scan oracle, driven by the
+// repo's own deterministic SplitMix64 (no wall-clock or global RNG).
+TEST(MinHeapTest, MatchesScanOracleUnderMixedWorkload) {
+  constexpr uint32_t kIds = 200;
+  MinHeap<uint64_t> heap;
+  heap.Reset(kIds);
+  std::vector<uint64_t> key_of(kIds, 0);
+  std::vector<bool> present(kIds, false);
+  SplitMix64 rng(12345);
+
+  for (int step = 0; step < 5000; ++step) {
+    const uint32_t id = static_cast<uint32_t>(rng.Next() % kIds);
+    const uint64_t key = rng.Next() % 1000;
+    switch (rng.Next() % 4) {
+      case 0:
+      case 1:
+        if (!present[id]) {
+          heap.Insert(id, key);
+          key_of[id] = key;
+          present[id] = true;
+        } else if (key < key_of[id]) {
+          heap.DecreaseKey(id, key);
+          key_of[id] = key;
+        }
+        break;
+      case 2:
+        if (present[id]) {
+          heap.Remove(id);
+          present[id] = false;
+        }
+        break;
+      default:
+        if (!heap.empty()) {
+          // Oracle min: smallest (key, id) among present ids.
+          uint32_t best = kIds;
+          for (uint32_t i = 0; i < kIds; ++i) {
+            if (!present[i]) continue;
+            if (best == kIds || key_of[i] < key_of[best] ||
+                (key_of[i] == key_of[best] && i < best)) {
+              best = i;
+            }
+          }
+          const auto [key_popped, id_popped] = heap.PopMin();
+          ASSERT_EQ(id_popped, best);
+          ASSERT_EQ(key_popped, key_of[best]);
+          present[best] = false;
+        }
+        break;
+    }
+    ASSERT_EQ(heap.size(),
+              static_cast<uint64_t>(
+                  std::count(present.begin(), present.end(), true)));
+  }
+}
+
+}  // namespace
+}  // namespace gdp::util

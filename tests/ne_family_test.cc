@@ -1,0 +1,295 @@
+// The neighbourhood-expansion family (NE, SNE, 2PS, HEP) under the ingest
+// determinism contract: the parallel pipeline must be bit-identical to the
+// serial IngestReference oracle at any thread count AND either input
+// representation (flat edge list or compressed block store), with and
+// without a binding memory budget. Plus the family's quality claims: NE
+// beats HDRF's replication factor on a heavy-tailed graph, and HEP's
+// low/high split threshold is monotone in the memory budget.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/edge_block_store.h"
+#include "graph/generators.h"
+#include "partition/expansion.h"
+#include "partition/hep.h"
+#include "partition/ingest.h"
+#include "partition/two_phase.h"
+#include "sim/cluster.h"
+
+namespace gdp::partition {
+namespace {
+
+constexpr uint32_t kMachines = 7;  // does not divide most state sizes
+constexpr uint32_t kLoaders = 13;
+
+PartitionContext MakeContext(graph::VertexId vertices,
+                             uint64_t memory_budget_bytes = 0) {
+  PartitionContext context;
+  context.num_partitions = kMachines;
+  context.num_vertices = vertices;
+  context.num_loaders = kLoaders;
+  context.seed = 29;
+  context.memory_budget_bytes = memory_budget_bytes;
+  return context;
+}
+
+graph::EdgeList TestGraph() {
+  return graph::GenerateHeavyTailed(
+      {.num_vertices = 3000, .edges_per_vertex = 6, .seed = 41});
+}
+
+enum class Path { kReference, kFlat, kBlockStore };
+
+struct IngestRun {
+  IngestResult result;
+  std::vector<double> busy_seconds;
+  std::vector<uint64_t> bytes_sent;
+  std::vector<uint64_t> bytes_received;
+  std::vector<uint64_t> memory_bytes;
+  std::vector<uint64_t> peak_memory_bytes;
+  double now_seconds = 0;
+};
+
+IngestRun RunIngest(const graph::EdgeList& edges, StrategyKind kind,
+                    const IngestOptions& options, Path path,
+                    uint64_t memory_budget_bytes) {
+  PartitionContext context =
+      MakeContext(edges.num_vertices(), memory_budget_bytes);
+  std::unique_ptr<Partitioner> partitioner = MakePartitioner(kind, context);
+  sim::Cluster cluster(kMachines, sim::CostModel{});
+  IngestRun run;
+  switch (path) {
+    case Path::kReference:
+      run.result = IngestReference(edges, *partitioner, cluster, options);
+      break;
+    case Path::kFlat:
+      run.result = Ingest(edges, *partitioner, cluster, options);
+      break;
+    case Path::kBlockStore: {
+      const graph::EdgeBlockStore store =
+          graph::EdgeBlockStore::FromEdges(edges, {});
+      run.result = Ingest(store, *partitioner, cluster, options);
+      break;
+    }
+  }
+  for (uint32_t m = 0; m < kMachines; ++m) {
+    const sim::Machine& machine = cluster.machine(m);
+    run.busy_seconds.push_back(machine.busy_seconds());
+    run.bytes_sent.push_back(machine.bytes_sent());
+    run.bytes_received.push_back(machine.bytes_received());
+    run.memory_bytes.push_back(machine.memory_bytes());
+    run.peak_memory_bytes.push_back(machine.peak_memory_bytes());
+  }
+  run.now_seconds = cluster.now_seconds();
+  return run;
+}
+
+void ExpectRunsIdentical(const IngestRun& expected, const IngestRun& actual,
+                         const std::string& label) {
+  SCOPED_TRACE(label);
+  const DistributedGraph& a = expected.result.graph;
+  const DistributedGraph& b = actual.result.graph;
+  ASSERT_EQ(a.num_partitions, b.num_partitions);
+  ASSERT_EQ(a.edge_partition.size(), b.edge_partition.size());
+  EXPECT_EQ(a.edge_partition, b.edge_partition);
+  EXPECT_EQ(a.master, b.master);
+  EXPECT_EQ(a.present, b.present);
+  EXPECT_EQ(a.num_present_vertices, b.num_present_vertices);
+  EXPECT_EQ(a.partition_edge_count, b.partition_edge_count);
+  EXPECT_EQ(a.replication_factor, b.replication_factor);
+  for (graph::VertexId v = 0; v < a.num_vertices; ++v) {
+    ASSERT_EQ(a.replicas.Count(v), b.replicas.Count(v)) << "v=" << v;
+    for (sim::MachineId p = 0; p < a.num_partitions; ++p) {
+      ASSERT_EQ(a.replicas.Contains(v, p), b.replicas.Contains(v, p));
+    }
+  }
+
+  const IngressReport& ra = expected.result.report;
+  const IngressReport& rb = actual.result.report;
+  EXPECT_EQ(ra.ingress_seconds, rb.ingress_seconds);
+  ASSERT_EQ(ra.pass_seconds.size(), rb.pass_seconds.size());
+  for (size_t i = 0; i < ra.pass_seconds.size(); ++i) {
+    EXPECT_EQ(ra.pass_seconds[i], rb.pass_seconds[i]) << "pass " << i;
+  }
+  EXPECT_EQ(ra.edges_moved, rb.edges_moved);
+  EXPECT_EQ(ra.replication_factor, rb.replication_factor);
+  EXPECT_EQ(ra.edge_balance_ratio, rb.edge_balance_ratio);
+  EXPECT_EQ(ra.peak_state_bytes, rb.peak_state_bytes);
+
+  EXPECT_EQ(expected.busy_seconds, actual.busy_seconds);
+  EXPECT_EQ(expected.bytes_sent, actual.bytes_sent);
+  EXPECT_EQ(expected.bytes_received, actual.bytes_received);
+  EXPECT_EQ(expected.memory_bytes, actual.memory_bytes);
+  EXPECT_EQ(expected.peak_memory_bytes, actual.peak_memory_bytes);
+  EXPECT_EQ(expected.now_seconds, actual.now_seconds);
+}
+
+std::string KindLabel(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kNe:
+      return "Ne";
+    case StrategyKind::kSne:
+      return "Sne";
+    case StrategyKind::kTwoPs:
+      return "TwoPs";
+    case StrategyKind::kHep:
+      return "Hep";
+    default:
+      return "Other";
+  }
+}
+
+class NeFamilyDeterminismTest
+    : public ::testing::TestWithParam<StrategyKind> {};
+
+// The full identity matrix: {1, 2, 8} threads x {flat, block-store}
+// against the serial flat oracle.
+TEST_P(NeFamilyDeterminismTest, BitIdenticalAcrossThreadsAndRepresentations) {
+  graph::EdgeList edges = TestGraph();
+  IngestOptions options;
+  options.num_loaders = kLoaders;
+  IngestRun reference =
+      RunIngest(edges, GetParam(), options, Path::kReference, 0);
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    options.exec.num_threads = threads;
+    for (Path path : {Path::kFlat, Path::kBlockStore}) {
+      IngestRun run = RunIngest(edges, GetParam(), options, path, 0);
+      ExpectRunsIdentical(
+          reference, run,
+          "threads=" + std::to_string(threads) +
+              (path == Path::kFlat ? " flat" : " block-store"));
+    }
+  }
+}
+
+// Same matrix under a binding budget: SNE expands in many small chunks and
+// HEP streams most hubs, and the results must still be bit-identical.
+TEST_P(NeFamilyDeterminismTest, BitIdenticalUnderTightMemoryBudget) {
+  constexpr uint64_t kBudget = 64 * 1024;
+  graph::EdgeList edges = TestGraph();
+  IngestOptions options;
+  options.num_loaders = kLoaders;
+  IngestRun reference =
+      RunIngest(edges, GetParam(), options, Path::kReference, kBudget);
+  for (uint32_t threads : {1u, 8u}) {
+    options.exec.num_threads = threads;
+    for (Path path : {Path::kFlat, Path::kBlockStore}) {
+      IngestRun run = RunIngest(edges, GetParam(), options, path, kBudget);
+      ExpectRunsIdentical(
+          reference, run,
+          "budget, threads=" + std::to_string(threads) +
+              (path == Path::kFlat ? " flat" : " block-store"));
+    }
+  }
+}
+
+// The vertex-hash master policy with partitioner preferences enabled — the
+// path where CoreOf/cluster masters actually flow into finalize.
+TEST_P(NeFamilyDeterminismTest, MasterPreferencePolicyAgrees) {
+  graph::EdgeList edges = TestGraph();
+  IngestOptions options;
+  options.num_loaders = kLoaders;
+  options.master_policy = MasterPolicy::kVertexHash;
+  options.use_partitioner_master_preference = true;
+  IngestRun reference =
+      RunIngest(edges, GetParam(), options, Path::kReference, 0);
+  options.exec.num_threads = 8;
+  IngestRun run = RunIngest(edges, GetParam(), options, Path::kFlat, 0);
+  ExpectRunsIdentical(reference, run, "vertex-hash masters, threads=8");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExpansionFamily, NeFamilyDeterminismTest,
+    ::testing::Values(StrategyKind::kNe, StrategyKind::kSne,
+                      StrategyKind::kTwoPs, StrategyKind::kHep),
+    [](const ::testing::TestParamInfo<StrategyKind>& info) {
+      return KindLabel(info.param);
+    });
+
+// NE's whole point: expansion beats the best streaming heuristic's
+// replication factor when it can afford to hold the graph.
+TEST(NeFamilyTest, NeBeatsHdrfReplicationOnHeavyTailedGraph) {
+  graph::EdgeList edges = TestGraph();
+  PartitionContext context = MakeContext(edges.num_vertices());
+  IngestOptions options;
+  options.num_loaders = kLoaders;
+
+  sim::Cluster ne_cluster(kMachines, sim::CostModel{});
+  IngestResult ne = IngestWithStrategy(edges, StrategyKind::kNe, context,
+                                       ne_cluster, options);
+  sim::Cluster hdrf_cluster(kMachines, sim::CostModel{});
+  IngestResult hdrf = IngestWithStrategy(edges, StrategyKind::kHdrf, context,
+                                         hdrf_cluster, options);
+  EXPECT_LE(ne.report.replication_factor, hdrf.report.replication_factor)
+      << "NE RF " << ne.report.replication_factor << " vs HDRF RF "
+      << hdrf.report.replication_factor;
+}
+
+// HEP's split threshold must grow with the budget (more budget -> more of
+// the graph goes through the in-memory expansion phase), and the
+// unconstrained default must dominate every finite budget's threshold.
+TEST(NeFamilyTest, HepSplitThresholdIsMonotoneInBudget) {
+  graph::EdgeList edges = TestGraph();
+  IngestOptions options;
+  options.num_loaders = kLoaders;
+
+  uint64_t previous = 0;
+  std::vector<uint64_t> thresholds;
+  for (uint64_t budget :
+       {uint64_t{2} << 10, uint64_t{16} << 10, uint64_t{128} << 10,
+        uint64_t{1} << 20, uint64_t{16} << 20}) {
+    HepPartitioner hep(MakeContext(edges.num_vertices(), budget));
+    sim::Cluster cluster(kMachines, sim::CostModel{});
+    IngestReference(edges, hep, cluster, options);
+    SCOPED_TRACE("budget=" + std::to_string(budget));
+    EXPECT_GE(hep.SplitThreshold(), previous);
+    previous = hep.SplitThreshold();
+    thresholds.push_back(hep.SplitThreshold());
+  }
+  // The spread of budgets actually moves the threshold (not vacuously
+  // monotone).
+  EXPECT_GT(thresholds.back(), thresholds.front());
+
+  HepPartitioner unconstrained(MakeContext(edges.num_vertices(), 0));
+  sim::Cluster cluster(kMachines, sim::CostModel{});
+  IngestReference(edges, unconstrained, cluster, options);
+  EXPECT_GT(unconstrained.SplitThreshold(), 0u);
+}
+
+// SNE's resident chunk is sized from the budget, with a floor that keeps
+// expansion meaningful on tiny budgets.
+TEST(NeFamilyTest, SneChunkCapacityTracksBudget) {
+  const graph::VertexId v = 1000;
+  SnePartitioner unbounded(MakeContext(v, 0));
+  SnePartitioner small(MakeContext(v, 8 * 1024));
+  SnePartitioner large(MakeContext(v, 4 * 1024 * 1024));
+  EXPECT_GT(unbounded.chunk_capacity_edges(), 0u);
+  EXPECT_LE(small.chunk_capacity_edges(), large.chunk_capacity_edges());
+  EXPECT_GE(small.chunk_capacity_edges(), 1024u);  // the floor
+}
+
+// A budget small enough to force many chunks still assigns every edge and
+// produces a valid replication factor (the expansion's full-assignment
+// invariant).
+TEST(NeFamilyTest, SneTinyBudgetStillAssignsEveryEdge) {
+  graph::EdgeList edges = TestGraph();
+  PartitionContext context =
+      MakeContext(edges.num_vertices(), /*memory_budget_bytes=*/50 * 1024);
+  IngestOptions options;
+  options.num_loaders = kLoaders;
+  sim::Cluster cluster(kMachines, sim::CostModel{});
+  IngestResult r = IngestWithStrategy(edges, StrategyKind::kSne, context,
+                                      cluster, options);
+  ASSERT_EQ(r.graph.edge_partition.size(), edges.num_edges());
+  uint64_t total = 0;
+  for (uint64_t count : r.graph.partition_edge_count) total += count;
+  EXPECT_EQ(total, edges.num_edges());
+  EXPECT_GE(r.report.replication_factor, 1.0);
+}
+
+}  // namespace
+}  // namespace gdp::partition

@@ -1,0 +1,182 @@
+// The strategy registry: the open catalogue behind MakePartitioner,
+// StrategyName/StrategyFromName, and the roster helpers. Covers the full
+// 17-strategy round trip (kind -> name -> kind, aliases included), trait
+// consistency against live partitioner instances, the family rosters, and
+// runtime extension with an out-of-tree strategy.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "partition/partitioner.h"
+#include "partition/strategy_registration.h"
+#include "partition/strategy_registry.h"
+
+namespace gdp::partition {
+namespace {
+
+const std::vector<StrategyKind>& AllSeventeen() {
+  static const std::vector<StrategyKind> kKinds = {
+      StrategyKind::kRandom,   StrategyKind::kAsymmetricRandom,
+      StrategyKind::kGrid,     StrategyKind::kPds,
+      StrategyKind::kOblivious, StrategyKind::kHdrf,
+      StrategyKind::kHybrid,   StrategyKind::kHybridGinger,
+      StrategyKind::kOneD,     StrategyKind::kOneDTarget,
+      StrategyKind::kTwoD,     StrategyKind::kChunked,
+      StrategyKind::kDbh,      StrategyKind::kNe,
+      StrategyKind::kSne,      StrategyKind::kTwoPs,
+      StrategyKind::kHep};
+  return kKinds;
+}
+
+PartitionContext SmallContext() {
+  PartitionContext context;
+  context.num_partitions = 7;  // 7 = 2^2 + 2 + 1, so PDS constructs
+  context.num_vertices = 100;
+  context.num_loaders = 3;
+  context.seed = 5;
+  return context;
+}
+
+TEST(StrategyRegistryTest, RoundTripsAllSeventeenStrategies) {
+  EnsureBuiltinStrategiesRegistered();
+  for (StrategyKind kind : AllSeventeen()) {
+    const StrategyInfo* info = StrategyRegistry::Instance().Find(kind);
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->kind, kind);
+    // kind -> name -> kind.
+    EXPECT_EQ(StrategyName(kind), info->name);
+    auto parsed = StrategyFromName(info->name);
+    ASSERT_TRUE(parsed.ok()) << info->name;
+    EXPECT_EQ(parsed.value(), kind);
+    // Aliases parse to the same kind.
+    for (const std::string& alias : info->aliases) {
+      auto via_alias = StrategyFromName(alias);
+      ASSERT_TRUE(via_alias.ok()) << alias;
+      EXPECT_EQ(via_alias.value(), kind);
+    }
+  }
+  EXPECT_FALSE(StrategyFromName("NoSuchStrategy").ok());
+}
+
+// Traits must agree with what the factory-built partitioners actually do —
+// a registry entry whose passes_required or parallel_safe drifts from the
+// implementation would silently break the cache key and the pipeline's
+// serialization decisions.
+TEST(StrategyRegistryTest, TraitsMatchLivePartitioners) {
+  EnsureBuiltinStrategiesRegistered();
+  for (StrategyKind kind : AllSeventeen()) {
+    const StrategyInfo* info = StrategyRegistry::Instance().Find(kind);
+    ASSERT_NE(info, nullptr);
+    SCOPED_TRACE(info->name);
+    std::unique_ptr<Partitioner> p = info->factory(SmallContext());
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->kind(), kind);
+    EXPECT_EQ(p->num_passes(), info->traits.passes_required);
+    bool every_pass_safe = true;
+    for (uint32_t pass = 0; pass < p->num_passes(); ++pass) {
+      every_pass_safe = every_pass_safe && p->PassIsParallelSafe(pass);
+    }
+    EXPECT_EQ(every_pass_safe, info->traits.parallel_safe);
+  }
+}
+
+TEST(StrategyRegistryTest, RostersComeFromTraits) {
+  // The paper roster excludes the extensions (Chunked, DBH, the expansion
+  // family) and keeps the established display order.
+  const std::vector<StrategyKind>& paper = AllStrategies();
+  EXPECT_EQ(paper.size(), 11u);
+  for (StrategyKind extension :
+       {StrategyKind::kChunked, StrategyKind::kDbh, StrategyKind::kNe,
+        StrategyKind::kSne, StrategyKind::kTwoPs, StrategyKind::kHep}) {
+    EXPECT_EQ(std::count(paper.begin(), paper.end(), extension), 0);
+  }
+
+  const std::vector<StrategyKind> pg = PowerGraphStrategies();
+  EXPECT_EQ(pg.front(), StrategyKind::kRandom);
+  EXPECT_EQ(std::count(pg.begin(), pg.end(), StrategyKind::kHdrf), 1);
+  const std::vector<StrategyKind> pl = PowerLyraStrategies();
+  EXPECT_EQ(std::count(pl.begin(), pl.end(), StrategyKind::kHybrid), 1);
+  const std::vector<StrategyKind> gx = GraphXStrategies();
+  EXPECT_EQ(std::count(gx.begin(), gx.end(), StrategyKind::kTwoD), 1);
+  EXPECT_EQ(std::count(gx.begin(), gx.end(), StrategyKind::kHybrid), 0);
+
+  const std::vector<StrategyKind> family = ExpansionFamilyStrategies();
+  EXPECT_EQ(family, (std::vector<StrategyKind>{
+                        StrategyKind::kNe, StrategyKind::kSne,
+                        StrategyKind::kTwoPs, StrategyKind::kHep}));
+
+  const std::vector<StrategyKind> budget_aware =
+      MemoryBudgetAwareStrategies();
+  EXPECT_EQ(std::count(budget_aware.begin(), budget_aware.end(),
+                       StrategyKind::kSne),
+            1);
+  EXPECT_EQ(std::count(budget_aware.begin(), budget_aware.end(),
+                       StrategyKind::kHep),
+            1);
+  EXPECT_EQ(std::count(budget_aware.begin(), budget_aware.end(),
+                       StrategyKind::kNe),
+            0);
+}
+
+// Out-of-tree extension: a strategy registered at runtime is immediately
+// reachable through every query path — name parsing, factory dispatch,
+// trait filters — without touching a core switch.
+class ConstantPartitioner final : public Partitioner {
+ public:
+  explicit ConstantPartitioner(const PartitionContext& context)
+      : Partitioner(context) {}
+  StrategyKind kind() const override { return kExperimentalKind; }
+  MachineId Assign(const graph::Edge& e, uint32_t pass,
+                   uint32_t loader) override {
+    (void)e;
+    (void)pass;
+    AddWorkTicks(loader, kTicksPerWorkUnit);
+    return 0;
+  }
+
+  /// A kind value far outside the built-in enum range.
+  static constexpr StrategyKind kExperimentalKind =
+      static_cast<StrategyKind>(1000);
+};
+
+TEST(StrategyRegistryTest, RuntimeRegistrationExtendsEveryQueryPath) {
+  EnsureBuiltinStrategiesRegistered();
+  StrategyRegistry::Instance().Register(StrategyInfo{
+      .kind = ConstantPartitioner::kExperimentalKind,
+      .name = "Experimental-Constant",
+      .aliases = {"ConstZero"},
+      .traits = {.passes_required = 1, .parallel_safe = true},
+      .factory = [](const PartitionContext& context)
+          -> std::unique_ptr<Partitioner> {
+        return std::make_unique<ConstantPartitioner>(context);
+      }});
+
+  auto parsed = StrategyFromName("ConstZero");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), ConstantPartitioner::kExperimentalKind);
+  EXPECT_EQ(std::string(StrategyName(ConstantPartitioner::kExperimentalKind)),
+            "Experimental-Constant");
+
+  std::unique_ptr<Partitioner> p =
+      MakePartitioner(ConstantPartitioner::kExperimentalKind, SmallContext());
+  graph::Edge e{1, 2};
+  EXPECT_EQ(p->Assign(e, 0, 0), 0u);
+
+  // The newcomer shows up in trait queries; the paper roster is untouched.
+  const std::vector<StrategyKind> parallel_safe =
+      StrategyRegistry::Instance().KindsWhere(
+          [](const StrategyTraits& t) { return t.parallel_safe; });
+  EXPECT_EQ(std::count(parallel_safe.begin(), parallel_safe.end(),
+                       ConstantPartitioner::kExperimentalKind),
+            1);
+  EXPECT_EQ(std::count(AllStrategies().begin(), AllStrategies().end(),
+                       ConstantPartitioner::kExperimentalKind),
+            0);
+}
+
+}  // namespace
+}  // namespace gdp::partition

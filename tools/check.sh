@@ -221,14 +221,17 @@ fi
 # the observability layer (Obs* suites: sharded metrics counters, trace
 # recorder, ExecContext determinism matrix), and the serving layer
 # (Serving* suites: the batched scheduler's parallel phase over the
-# byte-budgeted caches). RelWithDebInfo:
+# byte-budgeted caches), and the neighbor-expansion family (NeFamily*
+# suites: NE/SNE/2PS/HEP determinism matrix across threads and
+# representations; MinHeap/StrategyRegistry cover the heap and the
+# locked registry those strategies dispatch through). RelWithDebInfo:
 # TSan+Debug is too slow for the determinism matrix, and the race coverage
 # is identical. The -R filter selects the discovered gtest suites that
 # exercise threads; claims_ benches are timing-based and excluded (none of
 # them match).
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 if run_leg "tsan" "$ROOT/build-tsan" \
-  '(EngineDeterminism|EngineCorrectness|EngineAccounting|EngineEdge|ExecutionPlan|KCoreDeterminism|ThreadPool|DenseBitset|PhaseAccumulator|Machine|Cluster|Async|Ingest|GridRunner|PartitionCache|PlanCache|Obs|Serving|EdgeBlockStore|StreamIngest)' \
+  '(EngineDeterminism|EngineCorrectness|EngineAccounting|EngineEdge|ExecutionPlan|KCoreDeterminism|ThreadPool|DenseBitset|PhaseAccumulator|Machine|Cluster|Async|Ingest|GridRunner|PartitionCache|PlanCache|Obs|Serving|EdgeBlockStore|StreamIngest|NeFamily|MinHeap|StrategyRegistry)' \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGDP_SANITIZE=thread; then
   pass "tsan"
